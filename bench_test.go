@@ -1,0 +1,211 @@
+package splitquant_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench executes the corresponding experiment from internal/experiments
+// and reports its headline metric(s) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation and records the reproduced numbers.
+// Additional micro-benchmarks cover the performance-critical primitives
+// (quantization, matmul, simplex/ILP solves, end-to-end planning).
+
+import (
+	"testing"
+
+	splitquant "repro"
+	"repro/internal/experiments"
+	"repro/internal/lp"
+	"repro/internal/quant"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// runExperiment executes one experiment per iteration and reports its
+// metrics once.
+func runExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	var last map[string]float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ByID(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r.Metrics
+	}
+	for _, k := range metricKeys {
+		if v, ok := last[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkFig1FleetTrace(b *testing.B) {
+	runExperiment(b, "fig1", "idle_fraction", "a100_util")
+}
+
+func BenchmarkFig3PhaseDecomposition(b *testing.B) {
+	runExperiment(b, "fig3", "p100_v100_prefill_ratio", "p100_v100_decode_ratio")
+}
+
+func BenchmarkFig4QuantQuality(b *testing.B) {
+	runExperiment(b, "fig4", "opt-1.3b-proxy/fp/int3/ppl", "opt-1.3b-proxy/fp/int16/ppl")
+}
+
+func BenchmarkFig5PrecisionLatency(b *testing.B) {
+	runExperiment(b, "fig5", "T4-16G_decode_int4_speedup", "V100-32G_prefill_int3_slowdown")
+}
+
+func BenchmarkTable1LayerSensitivity(b *testing.B) {
+	runExperiment(b, "table1", "opt-1.3b-proxy/range0/ppl", "opt-1.3b-proxy/range2/ppl")
+}
+
+func BenchmarkFig7WorkloadDistributions(b *testing.B) {
+	runExperiment(b, "fig7", "cnn_avg_out", "loogle_avg_out")
+}
+
+func BenchmarkFig8CostModelFidelity(b *testing.B) {
+	runExperiment(b, "fig8", "memory_mape", "worst_latency_mape")
+}
+
+func BenchmarkFig9HeterogeneousVLLM(b *testing.B) {
+	runExperiment(b, "fig9", "mean_speedup")
+}
+
+func BenchmarkFig10CustomBackend(b *testing.B) {
+	runExperiment(b, "fig10", "mean_vs_het", "uniform_ooms")
+}
+
+func BenchmarkTable4Homogeneous(b *testing.B) {
+	runExperiment(b, "table4", "c9/splitquant/optimal", "c10/splitquant/optimal")
+}
+
+func BenchmarkTable5Indicator(b *testing.B) {
+	runExperiment(b, "table5",
+		"opt-30b-proxy/splitquant/ppl", "opt-30b-proxy/hessian/overhead", "opt-30b-proxy/splitquant/overhead")
+}
+
+func BenchmarkTable6SolverScaling(b *testing.B) {
+	runExperiment(b, "table6", "c6/heuristic/overhead", "c6/group=4/overhead")
+}
+
+func BenchmarkFig11ThetaSensitivity(b *testing.B) {
+	runExperiment(b, "fig11", "c8/theta1.0/tps", "c8/theta100.0/tps")
+}
+
+func BenchmarkFig12AdabitsAblation(b *testing.B) {
+	runExperiment(b, "fig12", "mean_speedup")
+}
+
+func BenchmarkAblationPrefillOnly(b *testing.B) {
+	runExperiment(b, "ablation", "prefill_only_tps", "two_phase_tps")
+}
+
+func BenchmarkAblationFixedMicrobatch(b *testing.B) {
+	runExperiment(b, "ablation", "fixed_mb_tps", "cooptimized_tps")
+}
+
+// ---- Primitive micro-benchmarks. ----
+
+func BenchmarkQuantizeInt4(b *testing.B) {
+	rng := stats.NewRNG(1)
+	w := tensor.NewMatrix(512, 512)
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormMS(0, 0.05))
+	}
+	b.SetBytes(int64(len(w.Data)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quant.Quantize(w, quant.Scheme{Bits: 4}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDequantizeInt4(b *testing.B) {
+	rng := stats.NewRNG(2)
+	w := tensor.NewMatrix(512, 512)
+	for i := range w.Data {
+		w.Data[i] = float32(rng.NormMS(0, 0.05))
+	}
+	q, err := quant.Quantize(w, quant.Scheme{Bits: 4}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(w.Data)) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Dequantize()
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := stats.NewRNG(3)
+	m := tensor.NewMatrix(256, 256)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormMS(0, 1))
+	}
+	b.SetBytes(2 * 256 * 256 * 256) // MACs as a proxy
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(m, m)
+	}
+}
+
+func BenchmarkSimplexSolve(b *testing.B) {
+	// A representative planner-scale LP: 120 vars, 80 rows.
+	rng := stats.NewRNG(4)
+	n, m := 120, 80
+	p := &lp.Problem{C: make([]float64, n)}
+	for j := range p.C {
+		p.C[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.A = append(p.A, row)
+		p.Senses = append(p.Senses, lp.LE)
+		p.B = append(p.B, 10+rng.Float64()*10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanHeuristicCluster5(b *testing.B) {
+	sys, err := splitquant.New("opt-30b", splitquant.Preset(5),
+		splitquant.WithMethod("heuristic"), splitquant.WithTheta(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := splitquant.FixedWorkload(32, 512, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Plan(w, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatePipeline(b *testing.B) {
+	sys, err := splitquant.New("opt-30b", splitquant.Preset(5),
+		splitquant.WithMethod("heuristic"), splitquant.WithTheta(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := sys.Plan(splitquant.FixedWorkload(32, 512, 32), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Measure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Command experiments regenerates the SplitQuant paper's tables and
+// figures on the simulated substrate.
+//
+// Usage:
+//
+//	experiments all          # every experiment, paper order
+//	experiments fig9 table4  # specific artifacts
+//	experiments -list        # show available ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-list] all | <id>...")
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("== %s: %s (%.1fs)\n\n%s\n", r.ID, r.Title, time.Since(start).Seconds(), r.Text)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

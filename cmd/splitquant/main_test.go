@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestClusterSpecPreset(t *testing.T) {
+	cs, err := clusterSpec("", 5, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Nodes) != 2 {
+		t.Fatalf("preset 5 nodes = %d", len(cs.Nodes))
+	}
+	if _, err := clusterSpec("", 0, 800); err == nil {
+		t.Fatal("preset 0 accepted")
+	}
+	if _, err := clusterSpec("", 11, 800); err == nil {
+		t.Fatal("preset 11 accepted")
+	}
+}
+
+func TestClusterSpecCustom(t *testing.T) {
+	cs, err := clusterSpec("a:V100-32G:2,b:A100-40G:1", 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Nodes) != 2 || cs.Nodes[0].Count != 2 || string(cs.Nodes[1].GPU) != "A100-40G" {
+		t.Fatalf("custom spec = %+v", cs)
+	}
+	if cs.InterconnectGbps != 100 {
+		t.Fatalf("gbps = %v", cs.InterconnectGbps)
+	}
+	if _, err := clusterSpec("bad", 5, 800); err == nil {
+		t.Fatal("malformed node accepted")
+	}
+	if _, err := clusterSpec("a:V100-32G:x", 5, 800); err == nil {
+		t.Fatal("non-numeric count accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Command stagesrv runs the tiny distributed inference runtime over real
+// TCP sockets: in -serve mode it hosts one pipeline stage (a contiguous
+// block range of a tinyllm model); in -drive mode it acts as the master
+// engine, streaming hidden states through a chain of stage servers and
+// decoding greedily.
+//
+// Single-process demo (spawns stages in-process):
+//
+//	stagesrv -demo -stages 3
+//
+// Multi-process:
+//
+//	stagesrv -serve -layers 0:4  -listen 127.0.0.1:7001 &
+//	stagesrv -serve -layers 4:8  -listen 127.0.0.1:7002 &
+//	stagesrv -drive -chain 127.0.0.1:7001,127.0.0.1:7002 -tokens 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/tinyllm"
+	"repro/internal/transport"
+)
+
+// cfg is the shared model every process reconstructs from the seed.
+var cfg = tinyllm.Config{Name: "stagesrv", Layers: 12, Hidden: 64, Heads: 4, FFN: 192, Vocab: 192, MaxPos: 128}
+
+const seed = 7777
+
+func main() {
+	var (
+		serve  = flag.Bool("serve", false, "host one pipeline stage")
+		drive  = flag.Bool("drive", false, "drive a chain of stages")
+		demo   = flag.Bool("demo", false, "run a self-contained multi-stage demo in one process")
+		layers = flag.String("layers", "", "-serve: block range lo:hi")
+		listen = flag.String("listen", "127.0.0.1:0", "-serve: listen address")
+		chain  = flag.String("chain", "", "-drive: comma-separated stage addresses in order")
+		tokens = flag.Int("tokens", 16, "-drive/-demo: tokens to generate")
+		stages = flag.Int("stages", 3, "-demo: stage count")
+		bits   = flag.String("bits", "", "per-layer bitwidths, comma-separated (empty = FP16)")
+	)
+	flag.Parse()
+	switch {
+	case *serve:
+		runServe(*layers, *listen, *bits)
+	case *drive:
+		runDrive(*chain, *tokens)
+	case *demo:
+		runDemo(*stages, *tokens, *bits)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: stagesrv -serve|-drive|-demo ...")
+		os.Exit(2)
+	}
+}
+
+func parseBits(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != cfg.Layers {
+		return nil, fmt.Errorf("need %d bitwidths, got %d", cfg.Layers, len(parts))
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func runServe(layerSpec, listen, bitSpec string) {
+	var lo, hi int
+	if _, err := fmt.Sscanf(layerSpec, "%d:%d", &lo, &hi); err != nil {
+		fatal(fmt.Errorf("bad -layers %q: %w", layerSpec, err))
+	}
+	bits, err := parseBits(bitSpec)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := transport.NewStageServer(cfg, seed, bits, lo, hi)
+	if err != nil {
+		fatal(err)
+	}
+	addr, err := s.Listen(listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stage [%d:%d) serving on %s\n", lo, hi, addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	s.Close()
+}
+
+func runDrive(chain string, tokens int) {
+	addrs := strings.Split(chain, ",")
+	d, err := transport.NewDriver(cfg, seed, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
+	prompt := transport.RandomPrompt(stats.NewRNG(99), cfg.Vocab, 12)
+	out, err := d.Generate(prompt, tokens)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("prompt:    %v\ngenerated: %v\n", prompt, out)
+}
+
+func runDemo(stages, tokens int, bitSpec string) {
+	bits, err := parseBits(bitSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if stages < 1 || stages > cfg.Layers {
+		fatal(fmt.Errorf("stages %d out of range 1-%d", stages, cfg.Layers))
+	}
+	per := cfg.Layers / stages
+	var addrs []string
+	var servers []*transport.StageServer
+	for i := 0; i < stages; i++ {
+		lo := i * per
+		hi := lo + per
+		if i == stages-1 {
+			hi = cfg.Layers
+		}
+		s, err := transport.NewStageServer(cfg, seed, bits, lo, hi)
+		if err != nil {
+			fatal(err)
+		}
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stage %d: layers [%d:%d) on %s\n", i, lo, hi, addr)
+		addrs = append(addrs, addr)
+		servers = append(servers, s)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	d, err := transport.NewDriver(cfg, seed, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
+	prompt := transport.RandomPrompt(stats.NewRNG(99), cfg.Vocab, 12)
+	out, err := d.Generate(prompt, tokens)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := transport.Reference(cfg, seed, bits, prompt, tokens)
+	if err != nil {
+		fatal(err)
+	}
+	match := "MATCH"
+	for i := range out {
+		if i >= len(ref) || out[i] != ref[i] {
+			match = "MISMATCH"
+			break
+		}
+	}
+	fmt.Printf("prompt:      %v\ndistributed: %v\nreference:   %v\nverdict:     %s\n", prompt, out, ref, match)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stagesrv:", err)
+	os.Exit(1)
+}

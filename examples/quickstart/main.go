@@ -1,0 +1,43 @@
+// Quickstart: plan and measure an OPT-30B deployment on a mixed
+// T4 + V100 cluster, comparing SplitQuant's joint optimization against
+// the Uniform baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	splitquant "repro"
+)
+
+func main() {
+	// Cluster 5 of the paper: 3×T4-16G on one node, 1×V100-32G on
+	// another (800 Gbps fabric between them).
+	cluster := splitquant.Preset(5)
+
+	// The DeepSpeed-style offline benchmark: 32 concurrent requests,
+	// 512-token prompts, 32 generated tokens each.
+	work := splitquant.FixedWorkload(32, 512, 32)
+
+	for _, method := range []string{"uniform", "het", "heuristic"} {
+		sys, err := splitquant.New("opt-30b", cluster,
+			splitquant.WithMethod(method),
+			splitquant.WithTheta(1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dep, err := sys.Plan(work, 32)
+		if err != nil {
+			log.Printf("%-10s infeasible: %v", method, err)
+			continue
+		}
+		m, err := dep.Measure()
+		if err != nil {
+			log.Printf("%-10s OOM: %v", method, err)
+			continue
+		}
+		fmt.Printf("%-10s %7.1f tkn/s   quality Σω=%.3f\n", method, m.Throughput, dep.QualityPenalty())
+		fmt.Printf("           %s\n", dep)
+	}
+}

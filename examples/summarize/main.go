@@ -1,0 +1,68 @@
+// Summarize: an offline document-summarization deployment (the paper's
+// CNN-DailyMail workload — article-length prompts, ~300-token outputs)
+// served by Qwen2.5-14B on a mixed V100 + A100 cluster.
+//
+// The example walks the workflow a capacity planner would follow:
+// inspect the workload, plan under a quality floor equal to the Uniform
+// baseline's quality, then compare plans and measured throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	splitquant "repro"
+)
+
+func main() {
+	cluster := splitquant.Preset(2) // 2×V100-32G + 1×A100-40G
+	work := splitquant.Summarization(1)
+	const batch = 16
+
+	// Baseline first: its quality becomes SplitQuant's floor, so the
+	// comparison isolates efficiency (§VI-C of the paper).
+	uniSys, err := splitquant.New("qwen2.5-14b", cluster, splitquant.WithMethod("uniform"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	uniDep, err := uniSys.Plan(work, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uniM, err := uniDep.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+	floor := uniSys.QualityOf(uniDep)
+	if floor == 0 {
+		floor = 1e-9 // uniform stayed FP16: require FP16-grade quality
+	}
+
+	sqSys, err := splitquant.New("qwen2.5-14b", cluster,
+		splitquant.WithMethod("heuristic"),
+		splitquant.WithTheta(1),
+		splitquant.WithQualityFloor(floor),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sqDep, err := sqSys.Plan(work, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sqM, err := sqDep.Measure()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s, %d concurrent requests\n\n", work.Name(), batch)
+	fmt.Printf("uniform:    %7.1f tkn/s   %s\n", uniM.Throughput, uniDep)
+	fmt.Printf("splitquant: %7.1f tkn/s   %s\n", sqM.Throughput, sqDep)
+	fmt.Printf("\nspeedup at equal-or-better quality: %.2fx\n", sqM.Throughput/uniM.Throughput)
+
+	fmt.Println("\nplan (JSON):")
+	if err := sqDep.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

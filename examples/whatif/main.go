@@ -1,0 +1,46 @@
+// Whatif: capacity planning across candidate clusters. Given a model and
+// a workload, sweep the Table III cluster presets and the quality scalar
+// θ, and print the throughput/quality frontier — the question an
+// infrastructure owner actually asks before dedicating heterogeneous
+// leftover GPUs to offline serving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	splitquant "repro"
+)
+
+func main() {
+	work := splitquant.FixedWorkload(32, 512, 32)
+	const modelName = "opt-30b"
+
+	fmt.Printf("capacity sweep: %s, %s\n\n", modelName, work.Name())
+	fmt.Printf("%-8s %-26s %-7s %10s %10s\n", "cluster", "composition", "theta", "tkn/s", "Σω")
+	for _, preset := range []int{5, 6, 7, 8, 9} {
+		cs := splitquant.Preset(preset)
+		for _, theta := range []float64{0.1, 10} {
+			sys, err := splitquant.New(modelName, cs,
+				splitquant.WithMethod("heuristic"),
+				splitquant.WithTheta(theta),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dep, err := sys.Plan(work, 32)
+			if err != nil {
+				fmt.Printf("%-8d %-26s %-7.1f %10s %10s\n", preset, sys.Cluster(), theta, "OOM", "-")
+				continue
+			}
+			m, err := dep.Measure()
+			if err != nil {
+				fmt.Printf("%-8d %-26s %-7.1f %10s %10s\n", preset, sys.Cluster(), theta, "OOM", "-")
+				continue
+			}
+			fmt.Printf("%-8d %-26s %-7.1f %10.1f %10.3f\n",
+				preset, sys.Cluster(), theta, m.Throughput, dep.QualityPenalty())
+		}
+	}
+	fmt.Println("\nlower Σω = closer to FP16 quality; θ trades throughput for quality")
+}

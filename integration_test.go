@@ -1,0 +1,128 @@
+package splitquant_test
+
+// Cross-module integration tests: the full SplitQuant workflow from
+// planning through quality evaluation and real distributed execution.
+
+import (
+	"testing"
+
+	splitquant "repro"
+	"repro/internal/eval"
+	"repro/internal/stats"
+	"repro/internal/tinyllm"
+	"repro/internal/transport"
+)
+
+// TestPlanToQualityToDistributed walks the whole stack:
+//  1. plan OPT-30B on a severe heterogeneous cluster,
+//  2. map the chosen per-layer bitwidths onto a real proxy transformer
+//     and confirm the measured perplexity respects the quality floor
+//     semantics (more aggressive θ → no better PPL),
+//  3. execute the proxy's bit assignment as a real distributed pipeline
+//     over TCP and verify it reproduces single-process inference.
+func TestPlanToQualityToDistributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	work := splitquant.FixedWorkload(32, 512, 32)
+
+	planBits := func(theta float64) []int {
+		sys, err := splitquant.New("opt-30b", splitquant.Preset(6),
+			splitquant.WithMethod("heuristic"), splitquant.WithTheta(theta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := sys.Plan(work, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep.Bits()
+	}
+	aggressive := planBits(0.05) // latency-first
+	careful := planBits(50)      // quality-first
+
+	// 2. Quality on the real proxy.
+	proxy, err := eval.NewProxy("opt-30b-proxy-int", 12, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggRes, err := proxy.EvalBits(eval.MapBits(aggressive, proxy.Layers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	carefulRes, err := proxy.EvalBits(eval.MapBits(careful, proxy.Layers()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carefulRes.PPL > aggRes.PPL+1e-9 {
+		t.Fatalf("quality-first plan measured worse PPL: θ=50 → %v vs θ=0.05 → %v",
+			carefulRes.PPL, aggRes.PPL)
+	}
+
+	// 3. Distributed execution of the careful plan's bits on the proxy
+	// architecture.
+	cfg := tinyllm.Config{Name: "int-test", Layers: 12, Hidden: 64, Heads: 4, FFN: 192, Vocab: 192, MaxPos: 96}
+	bits := eval.MapBits(careful, cfg.Layers)
+	var addrs []string
+	var servers []*transport.StageServer
+	cuts := [][2]int{{0, 4}, {4, 8}, {8, 12}}
+	for _, c := range cuts {
+		s, err := transport.NewStageServer(cfg, 4242, bits, c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, addr)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	d, err := transport.NewDriver(cfg, 4242, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	prompt := transport.RandomPrompt(stats.NewRNG(11), cfg.Vocab, 16)
+	got, err := d.Generate(prompt, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.Reference(cfg, 4242, bits, prompt, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("distributed token %d = %d, reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMetricsExposesUtilization checks the observability surface.
+func TestMetricsExposesUtilization(t *testing.T) {
+	sys, err := splitquant.New("opt-13b", splitquant.Preset(9),
+		splitquant.WithMethod("heuristic"), splitquant.WithTheta(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Plan(splitquant.FixedWorkload(16, 256, 16), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dep.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.StageUtilization) != len(dep.Stages()) {
+		t.Fatalf("utilization per stage missing: %v", m.StageUtilization)
+	}
+	if m.BubbleFraction < 0 || m.BubbleFraction >= 1 {
+		t.Fatalf("bubble fraction %v", m.BubbleFraction)
+	}
+}

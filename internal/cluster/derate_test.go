@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+func TestDeratedNodeShrinksDevices(t *testing.T) {
+	c := &Cluster{
+		Name:    "derated",
+		InterBW: Eth800BW,
+		Nodes: []Node{
+			{Name: "full", Class: gpu.V100, Count: 1, IntraBW: NVLinkBW},
+			{Name: "half", Class: gpu.V100, Count: 1, IntraBW: NVLinkBW, SpeedScale: 0.5, MemScale: 0.5},
+		},
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	devs := c.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	full, half := devs[0], devs[1]
+	if half.Spec.FP16FLOPS >= full.Spec.FP16FLOPS {
+		t.Fatal("derated compute not reduced")
+	}
+	if half.UsableMemory() >= full.UsableMemory() {
+		t.Fatal("derated memory not reduced")
+	}
+	// The pristine spec must be untouched (Derate copies).
+	if gpu.MustLookup(gpu.V100).FP16FLOPS != full.Spec.FP16FLOPS {
+		t.Fatal("derating mutated the shared spec")
+	}
+}
+
+func TestDeratedDevicesNotDeduped(t *testing.T) {
+	c := &Cluster{
+		Name:    "derated",
+		InterBW: Eth800BW,
+		Nodes: []Node{
+			{Name: "full", Class: gpu.V100, Count: 1, IntraBW: NVLinkBW},
+			{Name: "half", Class: gpu.V100, Count: 1, IntraBW: NVLinkBW, SpeedScale: 0.5},
+		},
+	}
+	// Two distinguishable devices → 2 orderings, not 1.
+	ords := Orderings(c.Devices(), 0)
+	if len(ords) != 2 {
+		t.Fatalf("orderings = %d, want 2 for distinguishable devices", len(ords))
+	}
+}
+
+func TestDerateValidation(t *testing.T) {
+	bad := &Cluster{
+		Name:    "bad",
+		InterBW: Eth800BW,
+		Nodes: []Node{
+			{Name: "x", Class: gpu.V100, Count: 1, IntraBW: NVLinkBW, MemScale: 0.01},
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("memory derated below context reserve accepted")
+	}
+	bad2 := &Cluster{
+		Name:    "bad2",
+		InterBW: Eth800BW,
+		Nodes: []Node{
+			{Name: "x", Class: gpu.V100, Count: 1, IntraBW: NVLinkBW, SpeedScale: 1.5},
+		},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("speed scale above 1 accepted")
+	}
+}
+
+func TestDerateSpecDirect(t *testing.T) {
+	v := gpu.MustLookup(gpu.V100)
+	d, err := v.Derate(0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FP16FLOPS != v.FP16FLOPS/2 || d.Bandwidth != v.Bandwidth/2 {
+		t.Fatal("speed derate wrong")
+	}
+	if d.MemBytes != v.MemBytes {
+		t.Fatal("memory changed with memScale=0")
+	}
+	if _, err := v.Derate(-1, 0); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// Preset returns cluster n of the paper's Table III (1-10).
+//
+// GPUs of the same type share a node (NVLink intra-connect); clusters
+// 1, 8, 9, 10 are single-node, the others span two nodes. Clusters 6 and
+// 8 use 100 Gbps Ethernet, all others 800 Gbps.
+func Preset(n int) (*Cluster, error) {
+	mk := func(name string, inter float64, nodes ...Node) *Cluster {
+		c := &Cluster{Name: name, Nodes: nodes, InterBW: inter}
+		if err := c.Validate(); err != nil {
+			panic(err)
+		}
+		return c
+	}
+	node := func(name string, class gpu.DeviceClass, count int) Node {
+		return Node{Name: name, Class: class, Count: count, IntraBW: NVLinkBW}
+	}
+	switch n {
+	case 1:
+		return mk("cluster1", Eth800BW, node("n0", gpu.V100, 1)), nil
+	case 2:
+		return mk("cluster2", Eth800BW, node("n0", gpu.V100, 2), node("n1", gpu.A100, 1)), nil
+	case 3:
+		return mk("cluster3", Eth800BW, node("n0", gpu.V100, 1), node("n1", gpu.A100, 1)), nil
+	case 4:
+		return mk("cluster4", Eth800BW, node("n0", gpu.V100, 3), node("n1", gpu.A100, 1)), nil
+	case 5:
+		return mk("cluster5", Eth800BW, node("n0", gpu.T4, 3), node("n1", gpu.V100, 1)), nil
+	case 6:
+		return mk("cluster6", Eth100BW, node("n0", gpu.P100, 3), node("n1", gpu.V100, 1)), nil
+	case 7:
+		return mk("cluster7", Eth800BW, node("n0", gpu.T4, 4), node("n1", gpu.V100, 2)), nil
+	case 8:
+		return mk("cluster8", Eth100BW, node("n0", gpu.T4, 4)), nil
+	case 9:
+		return mk("cluster9", Eth800BW, node("n0", gpu.V100, 4)), nil
+	case 10:
+		return mk("cluster10", Eth800BW, node("n0", gpu.A100, 4)), nil
+	default:
+		return nil, fmt.Errorf("cluster: preset %d out of range 1-10", n)
+	}
+}
+
+// MustPreset is Preset for constant indices; it panics on error.
+func MustPreset(n int) *Cluster {
+	c, err := Preset(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

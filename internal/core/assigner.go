@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// Method selects the planning algorithm.
+type Method string
+
+// Planning methods.
+const (
+	// MethodILP shortlists configurations with the heuristic, then
+	// polishes the best ones with the branch-and-bound ILP (§IV-C).
+	MethodILP Method = "ilp"
+	// MethodHeuristic uses only adabits + bitwidth transfer.
+	MethodHeuristic Method = "heuristic"
+	// MethodAdabits is the pure-adaptive-quantization ablation (Fig. 12).
+	MethodAdabits Method = "adabits"
+	// MethodUniform is the Uniform baseline (even split, one bitwidth).
+	MethodUniform Method = "uniform"
+	// MethodHet is the workload-balanced uniform-precision baseline.
+	MethodHet Method = "het"
+)
+
+// Options configures the Assigner.
+type Options struct {
+	// Bits is the candidate bitwidth set (default {3, 4, 8, 16}).
+	Bits []int
+	// Theta is the quality scalar θ of Eq. 4 (default 10).
+	Theta float64
+	// BitKV is the KV-cache bitwidth (default 16).
+	BitKV int
+	// GroupSize groups layers for the ILP (0 = auto, targeting ≤ 12
+	// groups; 1 = full problem).
+	GroupSize int
+	// TimeLimit bounds each ILP solve (default 60 s, as in §VI-F).
+	TimeLimit time.Duration
+	// MaxNodes bounds branch-and-bound nodes per solve (default 200).
+	MaxNodes int
+	// Method selects the algorithm (default MethodILP).
+	Method Method
+	// OrderingLimit caps device-ordering enumeration (default 8).
+	OrderingLimit int
+	// MicroBatches lists candidate micro-batch sizes for both phases
+	// (default {B/8, B/4} clamped to ≥ 1, deduplicated).
+	MicroBatches []int
+	// ILPCandidates is how many shortlisted configurations get an ILP
+	// polish under MethodILP (default 3).
+	ILPCandidates int
+	// QualityCap, when > 0, constrains Σω ≤ cap (§VI-C quality floor).
+	QualityCap float64
+	// MeshFilter, when non-nil, restricts the device meshes considered
+	// (e.g. force TP4 or pure pipeline parallelism, as in Table IV).
+	MeshFilter func([]cluster.Device) bool
+	// PrefillOnlyObjective drops the decode terms from the planning
+	// objective (memory accounting stays intact) — the phase-blind
+	// ablation D1 of DESIGN.md, modeling prior encoder-oriented
+	// partitioners.
+	PrefillOnlyObjective bool
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if len(o.Bits) == 0 {
+		o.Bits = []int{3, 4, 8, 16}
+	}
+	if o.Theta == 0 {
+		o.Theta = 10
+	}
+	if o.BitKV == 0 {
+		o.BitKV = 16
+	}
+	if o.TimeLimit == 0 {
+		o.TimeLimit = 60 * time.Second
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200
+	}
+	if o.Method == "" {
+		o.Method = MethodILP
+	}
+	if o.OrderingLimit == 0 {
+		o.OrderingLimit = 8
+	}
+	if o.ILPCandidates == 0 {
+		o.ILPCandidates = 3
+	}
+	return o
+}
+
+// Report summarizes one planning run.
+type Report struct {
+	// Configs is the number of (mesh, ordering, η, ξ) combinations
+	// evaluated.
+	Configs int
+	// ILPSolves and Nodes count branch-and-bound work.
+	ILPSolves int
+	Nodes     int
+	// SolveSeconds is total planning wall-clock time.
+	SolveSeconds float64
+	// Proved reports whether the final ILP proved optimality for its
+	// configuration.
+	Proved bool
+}
+
+// Assigner is SplitQuant's offline planner.
+type Assigner struct {
+	spec *model.Spec
+	clu  *cluster.Cluster
+	ind  *Indicator
+	opts Options
+}
+
+// New builds an assigner. The indicator must cover exactly the model's
+// layers and the option bit set.
+func New(spec *model.Spec, clu *cluster.Cluster, ind *Indicator, opts Options) (*Assigner, error) {
+	opts = opts.withDefaults()
+	if err := clu.Validate(); err != nil {
+		return nil, err
+	}
+	if ind.Layers() != spec.Layers {
+		return nil, fmt.Errorf("core: indicator covers %d layers, model has %d", ind.Layers(), spec.Layers)
+	}
+	for _, b := range opts.Bits {
+		if ind.bitIndex(b) < 0 {
+			return nil, fmt.Errorf("core: indicator missing bitwidth %d", b)
+		}
+	}
+	return &Assigner{spec: spec, clu: clu, ind: ind, opts: opts}, nil
+}
+
+// candidateMicroBatches returns the pruned micro-batch size set 𝒮:
+// powers-of-two fractions of B from B/8 up to the whole batch.
+func (a *Assigner) candidateMicroBatches(B int) []int {
+	if len(a.opts.MicroBatches) > 0 {
+		return a.opts.MicroBatches
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range []int{8, 4, 2, 1} {
+		v := B / d
+		if v < 1 {
+			v = 1
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// groupSizeFor returns the effective ILP group size.
+func (a *Assigner) groupSizeFor() int {
+	if a.opts.GroupSize > 0 {
+		return a.opts.GroupSize
+	}
+	gs := (a.spec.Layers + 11) / 12
+	if gs < 1 {
+		gs = 1
+	}
+	return gs
+}
+
+// candidate couples a configuration with its heuristic solution.
+type candidate struct {
+	oc *orderingCosts
+	as *assignment
+	ev evaluation
+}
+
+// Plan computes a deployment plan for one synthesized batch.
+func (a *Assigner) Plan(batch workload.Batch) (*plan.Plan, *Report, error) {
+	start := time.Now()
+	if err := batch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{}
+	theta := a.opts.Theta
+
+	switch a.opts.Method {
+	case MethodUniform:
+		p, err := a.baselinePlan(batch, rep, uniform, string(MethodUniform))
+		rep.SolveSeconds = time.Since(start).Seconds()
+		return p, rep, err
+	case MethodHet:
+		p, err := a.baselinePlan(batch, rep, het, string(MethodHet))
+		rep.SolveSeconds = time.Since(start).Seconds()
+		return p, rep, err
+	}
+
+	mbs := a.candidateMicroBatches(batch.Size)
+	var cands []candidate
+	for _, mesh := range a.clu.Meshes() {
+		if len(mesh) > a.spec.Layers {
+			continue // more stages than layers
+		}
+		if a.opts.MeshFilter != nil && !a.opts.MeshFilter(mesh) {
+			continue
+		}
+		for _, devs := range cluster.Orderings(mesh, a.opts.OrderingLimit) {
+			for _, eta := range mbs {
+				for _, xi := range mbs {
+					rep.Configs++
+					oc := buildCosts(a.spec, a.clu, devs, a.opts.Bits, batch, eta, xi, a.opts.BitKV)
+					if a.opts.PrefillOnlyObjective {
+						for j := range oc.dec {
+							for bi := range oc.dec[j] {
+								oc.dec[j][bi] = 0
+							}
+							oc.commDec[j] = 0
+						}
+						oc.aDec = 0
+					}
+					as := a.bestStart(oc, theta)
+					if as == nil {
+						continue // configuration cannot fit the model
+					}
+					ev := evaluate(as, oc, a.ind, theta)
+					if !ev.Feasible {
+						continue
+					}
+					if a.opts.QualityCap > 0 && ev.Quality > a.opts.QualityCap+1e-9 {
+						continue
+					}
+					cands = append(cands, candidate{oc: oc, as: as, ev: ev})
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil, rep, fmt.Errorf("core: no feasible configuration for %s on %s (B=%d)",
+			a.spec.Name, a.clu.Name, batch.Size)
+	}
+	// Shortlist by heuristic objective.
+	sortCandidates(cands)
+	best := cands[0]
+	method := string(a.opts.Method)
+
+	if a.opts.Method == MethodILP {
+		limit := a.opts.ILPCandidates
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		for c := 0; c < limit; c++ {
+			oc := cands[c].oc
+			cfg := ilpConfig{
+				GroupSize:  a.groupSizeFor(),
+				TimeLimit:  a.opts.TimeLimit,
+				MaxNodes:   a.opts.MaxNodes,
+				QualityCap: a.opts.QualityCap,
+				WarmStart:  cands[c].as,
+			}
+			as, sol, err := solveILP(oc, a.ind, theta, cfg)
+			if err != nil {
+				return nil, rep, err
+			}
+			rep.ILPSolves++
+			if sol != nil {
+				rep.Nodes += sol.Nodes
+			}
+			if as == nil {
+				continue
+			}
+			ev := evaluate(as, oc, a.ind, theta)
+			if ev.Feasible && ev.Objective < best.ev.Objective-1e-12 {
+				best = candidate{oc: oc, as: as, ev: ev}
+				rep.Proved = sol != nil && sol.Proved
+			}
+		}
+	}
+
+	p, err := toPlan(best.as, best.oc, a.ind, theta, method, a.opts.BitKV)
+	if err != nil {
+		return nil, rep, err
+	}
+	p.Model = a.spec.Name
+	rep.SolveSeconds = time.Since(start).Seconds()
+	p.SolveSeconds = rep.SolveSeconds
+	return p, rep, nil
+}
+
+// bestStart builds the heuristic solution for one configuration: the
+// bitwidth-transfer local search run from several starting points
+// (adabits, het, uniform — whichever are feasible), keeping the best.
+// Multi-start matters because adabits' memory-proportional partition and
+// het's speed-balanced partition sit in different basins. For
+// MethodAdabits the raw adabits solution is returned (the Fig. 12
+// ablation). Returns nil when no start point fits.
+func (a *Assigner) bestStart(oc *orderingCosts, theta float64) *assignment {
+	ada, err := adabits(oc, a.ind)
+	if a.opts.Method == MethodAdabits {
+		if err != nil {
+			return nil
+		}
+		return ada
+	}
+	var starts []*assignment
+	if err == nil {
+		starts = append(starts, ada)
+	}
+	if h, err := het(oc, a.ind); err == nil {
+		starts = append(starts, h)
+	}
+	// Speed-balanced at the lowest bitwidth: a latency-aggressive basin
+	// the precision-conservative starts cannot always reach.
+	lowest := a.opts.Bits[0]
+	for _, b := range a.opts.Bits {
+		if b < lowest {
+			lowest = b
+		}
+	}
+	if h, err := hetAtBit(oc, a.ind, lowest); err == nil {
+		starts = append(starts, h)
+	}
+	if u, err := uniform(oc, a.ind); err == nil {
+		starts = append(starts, u)
+	}
+	var best *assignment
+	bestObj := math.Inf(1)
+	for _, s := range starts {
+		improved := bitwidthTransfer(s, oc, a.ind, theta, 0, a.opts.QualityCap)
+		ev := evaluate(improved, oc, a.ind, theta)
+		if !ev.Feasible {
+			continue
+		}
+		if a.opts.QualityCap > 0 && ev.Quality > a.opts.QualityCap+1e-9 {
+			continue
+		}
+		if ev.Objective < bestObj {
+			best, bestObj = improved, ev.Objective
+		}
+	}
+	return best
+}
+
+// baselinePlan runs a baseline builder across orderings and micro-batch
+// candidates and returns the best feasible plan.
+func (a *Assigner) baselinePlan(batch workload.Batch, rep *Report,
+	build func(*orderingCosts, *Indicator) (*assignment, error), method string) (*plan.Plan, error) {
+
+	// Baselines do not co-tune micro-batch sizes (that is part of
+	// SplitQuant's contribution); they run the standard engine default
+	// of one micro-batch per pipeline stage (ξ = B / #stages), unless
+	// the user supplied candidates explicitly.
+	bestObj := math.Inf(1)
+	var bestPlan *plan.Plan
+	meshes := a.clu.Meshes()
+	if method == string(MethodUniform) && a.opts.MeshFilter == nil {
+		// Uniform is the engine default: pure pipeline parallelism over
+		// the devices as given. Explicit TP configurations (Table IV)
+		// are requested via MeshFilter.
+		meshes = [][]cluster.Device{a.clu.Devices()}
+	}
+	for _, mesh := range meshes {
+		if len(mesh) > a.spec.Layers {
+			continue
+		}
+		if a.opts.MeshFilter != nil && !a.opts.MeshFilter(mesh) {
+			continue
+		}
+		orderings := [][]cluster.Device{mesh}
+		if method == string(MethodHet) {
+			orderings = cluster.Orderings(mesh, a.opts.OrderingLimit)
+		}
+		for _, devs := range orderings {
+			mbs := a.opts.MicroBatches
+			if len(mbs) == 0 {
+				mb := batch.Size / len(devs)
+				if mb < 1 {
+					mb = 1
+				}
+				mbs = []int{mb}
+			}
+			for _, eta := range mbs {
+				for _, xi := range mbs {
+					rep.Configs++
+					oc := buildCosts(a.spec, a.clu, devs, a.opts.Bits, batch, eta, xi, a.opts.BitKV)
+					as, err := build(oc, a.ind)
+					if err != nil {
+						continue
+					}
+					ev := evaluate(as, oc, a.ind, 0) // baselines ignore θ
+					if !ev.Feasible || ev.Latency >= bestObj {
+						continue
+					}
+					p, err := toPlan(as, oc, a.ind, 0, method, a.opts.BitKV)
+					if err != nil {
+						continue
+					}
+					p.Model = a.spec.Name
+					bestObj = ev.Latency
+					bestPlan = p
+				}
+			}
+		}
+	}
+	if bestPlan == nil {
+		return nil, fmt.Errorf("core: %s baseline infeasible for %s on %s (OOM)", method, a.spec.Name, a.clu.Name)
+	}
+	return bestPlan, nil
+}
+
+// sortCandidates orders candidates by ascending objective (insertion
+// sort; candidate lists are small).
+func sortCandidates(cs []candidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].ev.Objective < cs[j-1].ev.Objective; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

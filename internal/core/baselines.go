@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// adabits builds the "pure adaptive quantization" solution of §IV-C and
+// Fig. 12: layers are partitioned by memory capacity alone (no latency
+// objective) and bitwidths are then raised greedily wherever memory
+// allows, prioritizing the layers whose indicated quality gain per byte
+// is largest. It is both a baseline and the bitwidth-transfer heuristic's
+// starting point.
+func adabits(oc *orderingCosts, ind *Indicator) (*assignment, error) {
+	layers := ind.Layers()
+	N := len(oc.devs)
+	if layers < N {
+		return nil, fmt.Errorf("core: %d layers cannot span %d stages", layers, N)
+	}
+	lowBi := lowestBitIdx(oc)
+	low := oc.memLayer[lowBi]
+
+	// Partition proportionally to memory budget, at least one layer each.
+	counts := make([]int, N)
+	var totalBudget float64
+	for _, b := range oc.memBudget {
+		if b > 0 {
+			totalBudget += float64(b)
+		}
+	}
+	if totalBudget <= 0 {
+		return nil, fmt.Errorf("core: no device has memory left after reserves")
+	}
+	assigned := 0
+	for j := 0; j < N; j++ {
+		share := 0.0
+		if oc.memBudget[j] > 0 {
+			share = float64(oc.memBudget[j]) / totalBudget
+		}
+		counts[j] = int(share * float64(layers))
+		// Never exceed what the device fits at the lowest bitwidth.
+		if low > 0 {
+			if fit := int(oc.memBudget[j] / low); counts[j] > fit {
+				counts[j] = fit
+			}
+		}
+		if counts[j] < 1 {
+			counts[j] = 1
+		}
+		assigned += counts[j]
+	}
+	// Fix the total to exactly `layers`, respecting per-device fits.
+	for assigned != layers {
+		if assigned < layers {
+			// Give to the device with the most slack.
+			best, bestSlack := -1, int64(-1)
+			for j := 0; j < N; j++ {
+				slack := oc.memBudget[j] - int64(counts[j])*low
+				if slack >= low && slack > bestSlack {
+					best, bestSlack = j, slack
+				}
+			}
+			if best == -1 {
+				return nil, fmt.Errorf("core: cluster cannot hold %d layers even at the lowest bitwidth", layers)
+			}
+			counts[best]++
+			assigned++
+		} else {
+			// Take from the device with the least slack but > 1 layer.
+			best, bestSlack := -1, int64(1<<62)
+			for j := 0; j < N; j++ {
+				if counts[j] <= 1 {
+					continue
+				}
+				slack := oc.memBudget[j] - int64(counts[j])*low
+				if slack < bestSlack {
+					best, bestSlack = j, slack
+				}
+			}
+			if best == -1 {
+				return nil, fmt.Errorf("core: cannot reduce partition to %d layers", layers)
+			}
+			counts[best]--
+			assigned--
+		}
+	}
+
+	a := &assignment{stageOf: make([]int, layers), bitIdx: make([]int, layers)}
+	li := 0
+	for j := 0; j < N; j++ {
+		for k := 0; k < counts[j]; k++ {
+			a.stageOf[li] = j
+			a.bitIdx[li] = lowBi
+			li++
+		}
+	}
+	if !a.valid(N) {
+		return nil, fmt.Errorf("core: adabits produced an invalid partition %v", counts)
+	}
+
+	// Greedy upgrades: repeatedly raise the bitwidth of the layer with
+	// the best ω-reduction per extra byte, while its stage still fits.
+	memUse := make([]int64, N)
+	for i := range a.stageOf {
+		memUse[a.stageOf[i]] += oc.memLayer[a.bitIdx[i]]
+	}
+	type upgrade struct {
+		layer int
+		gain  float64 // ω reduction per byte
+	}
+	for {
+		best := upgrade{layer: -1}
+		for i := range a.stageOf {
+			bi := a.bitIdx[i]
+			if bi+1 >= len(oc.bits) {
+				continue
+			}
+			next := nextBitIdx(oc, bi)
+			if next < 0 {
+				continue
+			}
+			extra := oc.memLayer[next] - oc.memLayer[bi]
+			j := a.stageOf[i]
+			if memUse[j]+extra > oc.memBudget[j] {
+				continue
+			}
+			drop := ind.Omega[i][bi] - ind.Omega[i][next]
+			if drop <= 0 {
+				continue
+			}
+			gain := drop
+			if extra > 0 {
+				gain = drop / float64(extra)
+			}
+			if best.layer == -1 || gain > best.gain {
+				best = upgrade{layer: i, gain: gain}
+			}
+		}
+		if best.layer == -1 {
+			break
+		}
+		i := best.layer
+		next := nextBitIdx(oc, a.bitIdx[i])
+		extra := oc.memLayer[next] - oc.memLayer[a.bitIdx[i]]
+		memUse[a.stageOf[i]] += extra
+		a.bitIdx[i] = next
+	}
+	return a, nil
+}
+
+// lowestBitIdx returns the column of the smallest bitwidth.
+func lowestBitIdx(oc *orderingCosts) int {
+	best := 0
+	for i, b := range oc.bits {
+		if b < oc.bits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// nextBitIdx returns the column of the next larger bitwidth after bi,
+// or -1 when bi is already the largest.
+func nextBitIdx(oc *orderingCosts, bi int) int {
+	cur := oc.bits[bi]
+	best, bestBits := -1, 1<<30
+	for i, b := range oc.bits {
+		if b > cur && b < bestBits {
+			best, bestBits = i, b
+		}
+	}
+	return best
+}
+
+// uniform builds the Uniform baseline under a fixed ordering: even layer
+// counts per stage and one global bitwidth, lowered from FP16 until the
+// plan fits (or no bitwidth works).
+func uniform(oc *orderingCosts, ind *Indicator) (*assignment, error) {
+	layers := ind.Layers()
+	N := len(oc.devs)
+	if layers < N {
+		return nil, fmt.Errorf("core: %d layers cannot span %d stages", layers, N)
+	}
+	counts := make([]int, N)
+	per, extra := layers/N, layers%N
+	for j := range counts {
+		counts[j] = per
+		if j < extra {
+			counts[j]++
+		}
+	}
+	// Descending bitwidths.
+	order := append([]int(nil), oc.bits...)
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	for _, bit := range order {
+		bi := -1
+		for i, b := range oc.bits {
+			if b == bit {
+				bi = i
+			}
+		}
+		fits := true
+		for j := 0; j < N; j++ {
+			if int64(counts[j])*oc.memLayer[bi] > oc.memBudget[j] {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		a := &assignment{stageOf: make([]int, layers), bitIdx: make([]int, layers)}
+		li := 0
+		for j := 0; j < N; j++ {
+			for k := 0; k < counts[j]; k++ {
+				a.stageOf[li] = j
+				a.bitIdx[li] = bi
+				li++
+			}
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("core: uniform baseline cannot fit the model at any bitwidth")
+}
+
+// het builds the Het baseline under a fixed ordering: uniform bitwidth
+// (lowered until feasible) with workload-aware layer counts proportional
+// to each device's speed. Following the heterogeneous-pipeline prior
+// work the paper compares against (which targets encoder models), the
+// balancing is prefill-only — the phase blindness SplitQuant fixes.
+func het(oc *orderingCosts, ind *Indicator) (*assignment, error) {
+	order := append([]int(nil), oc.bits...)
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	for _, bit := range order {
+		if a, err := hetAtBit(oc, ind, bit); err == nil {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("core: het baseline cannot fit the model at any bitwidth")
+}
+
+// hetAtBit builds the Het-style speed-balanced uniform-precision
+// assignment at one specific bitwidth. It is also used as a low-bit
+// starting point for the bitwidth-transfer heuristic.
+func hetAtBit(oc *orderingCosts, ind *Indicator, bit int) (*assignment, error) {
+	layers := ind.Layers()
+	N := len(oc.devs)
+	if layers < N {
+		return nil, fmt.Errorf("core: %d layers cannot span %d stages", layers, N)
+	}
+	{
+		bi := -1
+		for i, b := range oc.bits {
+			if b == bit {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			return nil, fmt.Errorf("core: unknown bitwidth %d", bit)
+		}
+		// Speed weight: inverse of the per-layer prefill time only.
+		weights := make([]float64, N)
+		var wSum float64
+		for j := 0; j < N; j++ {
+			weights[j] = 1 / oc.prefillLayer(j, bi)
+			wSum += weights[j]
+		}
+		counts := make([]int, N)
+		assigned := 0
+		for j := 0; j < N; j++ {
+			counts[j] = int(weights[j] / wSum * float64(layers))
+			if counts[j] < 1 {
+				counts[j] = 1
+			}
+			assigned += counts[j]
+		}
+		for assigned > layers {
+			// Remove from the slowest stage with > 1 layer.
+			worst, worstW := -1, 0.0
+			for j := 0; j < N; j++ {
+				if counts[j] > 1 && (worst == -1 || weights[j] < worstW) {
+					worst, worstW = j, weights[j]
+				}
+			}
+			if worst == -1 {
+				break
+			}
+			counts[worst]--
+			assigned--
+		}
+		for assigned < layers {
+			// Add to the fastest stage.
+			best, bestW := 0, weights[0]
+			for j := 1; j < N; j++ {
+				if weights[j] > bestW {
+					best, bestW = j, weights[j]
+				}
+			}
+			counts[best]++
+			assigned++
+		}
+		// Redistribute layers off over-budget stages onto stages with
+		// slack (speed-balancing is a preference; memory is a hard
+		// constraint) before declaring this bitwidth infeasible.
+		for iter := 0; iter < layers*N; iter++ {
+			over := -1
+			for j := 0; j < N; j++ {
+				if int64(counts[j])*oc.memLayer[bi] > oc.memBudget[j] {
+					over = j
+					break
+				}
+			}
+			if over == -1 {
+				break
+			}
+			best, bestSlack := -1, int64(0)
+			for j := 0; j < N; j++ {
+				if j == over {
+					continue
+				}
+				slack := oc.memBudget[j] - int64(counts[j]+1)*oc.memLayer[bi]
+				if slack >= 0 && (best == -1 || slack > bestSlack) {
+					best, bestSlack = j, slack
+				}
+			}
+			if best == -1 || counts[over] <= 1 {
+				break
+			}
+			counts[over]--
+			counts[best]++
+		}
+		fits := true
+		for j := 0; j < N; j++ {
+			if int64(counts[j])*oc.memLayer[bi] > oc.memBudget[j] {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			return nil, fmt.Errorf("core: het partition infeasible at %d bits", bit)
+		}
+		a := &assignment{stageOf: make([]int, layers), bitIdx: make([]int, layers)}
+		li := 0
+		for j := 0; j < N; j++ {
+			for k := 0; k < counts[j]; k++ {
+				a.stageOf[li] = j
+				a.bitIdx[li] = bi
+				li++
+			}
+		}
+		if !a.valid(N) {
+			return nil, fmt.Errorf("core: het partition invalid at %d bits", bit)
+		}
+		return a, nil
+	}
+}

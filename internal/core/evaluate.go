@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/plan"
+)
+
+// assignment is the planner-internal representation of a candidate
+// solution under a fixed ordering: stage boundaries plus per-layer bit
+// indices (into the costs' bit set).
+type assignment struct {
+	// stageOf[i] is the device index of layer i (non-decreasing).
+	stageOf []int
+	// bitIdx[i] is the bitwidth column of layer i.
+	bitIdx []int
+}
+
+// clone deep-copies the assignment.
+func (a *assignment) clone() *assignment {
+	return &assignment{
+		stageOf: append([]int(nil), a.stageOf...),
+		bitIdx:  append([]int(nil), a.bitIdx...),
+	}
+}
+
+// valid reports whether the stage mapping is contiguous, non-skipping,
+// and covers every device of the ordering.
+func (a *assignment) valid(nDev int) bool {
+	if len(a.stageOf) == 0 || a.stageOf[0] != 0 || a.stageOf[len(a.stageOf)-1] != nDev-1 {
+		return false
+	}
+	for i := 1; i < len(a.stageOf); i++ {
+		d := a.stageOf[i] - a.stageOf[i-1]
+		if d != 0 && d != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluation is the analytic objective breakdown of an assignment.
+type evaluation struct {
+	// Latency is the Eq. 4 pipeline-latency estimate (seconds).
+	Latency float64
+	// Quality is Σ ω over the assignment.
+	Quality float64
+	// Objective is Latency + θ·Quality.
+	Objective float64
+	// Feasible is false when a stage exceeds device memory.
+	Feasible bool
+	// PreMax, DecMax are the slowest-stage phase times.
+	PreMax, DecMax float64
+}
+
+// evaluate computes the analytic Eq. 4 objective of an assignment.
+func evaluate(a *assignment, oc *orderingCosts, ind *Indicator, theta float64) evaluation {
+	nDev := len(oc.devs)
+	preStage := make([]float64, nDev)
+	decStage := make([]float64, nDev)
+	memStage := make([]int64, nDev)
+	quality := 0.0
+	for i, j := range a.stageOf {
+		bi := a.bitIdx[i]
+		preStage[j] += oc.prefillLayer(j, bi)
+		decStage[j] += oc.decodeLayer(j, bi)
+		memStage[j] += oc.memLayer[bi]
+		quality += ind.Omega[i][bi]
+	}
+	ev := evaluation{Quality: quality, Feasible: true}
+	var preSum, decSum float64
+	for j := 0; j < nDev; j++ {
+		if memStage[j] > oc.memBudget[j] {
+			ev.Feasible = false
+		}
+		p := math.Max(preStage[j], oc.commPre[j])
+		d := math.Max(decStage[j], oc.commDec[j])
+		if p > ev.PreMax {
+			ev.PreMax = p
+		}
+		if d > ev.DecMax {
+			ev.DecMax = d
+		}
+		preSum += preStage[j]
+		decSum += decStage[j]
+	}
+	n := oc.batch.GenTokens
+	ev.Latency = oc.aPre*ev.PreMax + preSum + float64(n-1)*decSum + oc.aDec*ev.DecMax + oc.masterConst
+	ev.Objective = ev.Latency + theta*quality
+	return ev
+}
+
+// toPlan converts an assignment into a public deployment plan.
+func toPlan(a *assignment, oc *orderingCosts, ind *Indicator, theta float64, method string, bitKV int) (*plan.Plan, error) {
+	nDev := len(oc.devs)
+	if !a.valid(nDev) {
+		return nil, fmt.Errorf("core: assignment does not cover the %d-stage ordering", nDev)
+	}
+	ev := evaluate(a, oc, ind, theta)
+	p := &plan.Plan{
+		Model:             "",
+		PrefillMicroBatch: oc.eta,
+		DecodeMicroBatch:  oc.xi,
+		BitKV:             bitKV,
+		QualityPenalty:    ev.Quality,
+		Objective:         ev.Objective,
+		Method:            method,
+	}
+	first := 0
+	for j := 0; j < nDev; j++ {
+		var bits []int
+		for i, st := range a.stageOf {
+			if st == j {
+				bits = append(bits, oc.bits[a.bitIdx[i]])
+			}
+		}
+		p.Stages = append(p.Stages, plan.Stage{Device: oc.devs[j], FirstLayer: first, Bits: bits})
+		first += len(bits)
+	}
+	return p, nil
+}

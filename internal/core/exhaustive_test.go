@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/workload"
+)
+
+// bruteForceBest enumerates every contiguous partition and bit
+// assignment for a tiny instance and returns the optimal objective.
+func bruteForceBest(oc *orderingCosts, ind *Indicator, theta float64) (float64, *assignment) {
+	layers := ind.Layers()
+	nDev := len(oc.devs)
+	nBits := len(oc.bits)
+	best := math.Inf(1)
+	var bestAs *assignment
+
+	// Enumerate stage boundaries: stageOf is non-decreasing from 0 to
+	// nDev-1, each device non-empty.
+	var stageOf []int
+	var rec func(layer, stage int)
+	var bitRec func(as *assignment, layer int)
+	bitRec = func(as *assignment, layer int) {
+		if layer == layers {
+			ev := evaluate(as, oc, ind, theta)
+			if ev.Feasible && ev.Objective < best {
+				best = ev.Objective
+				bestAs = as.clone()
+			}
+			return
+		}
+		for bi := 0; bi < nBits; bi++ {
+			as.bitIdx[layer] = bi
+			bitRec(as, layer+1)
+		}
+	}
+	rec = func(layer, stage int) {
+		if layer == layers {
+			if stage == nDev-1 {
+				as := &assignment{stageOf: append([]int(nil), stageOf...), bitIdx: make([]int, layers)}
+				bitRec(as, 0)
+			}
+			return
+		}
+		// Stay on the current stage.
+		stageOf = append(stageOf, stage)
+		rec(layer+1, stage)
+		stageOf = stageOf[:len(stageOf)-1]
+		// Advance to the next stage (layer becomes its first layer).
+		if stage+1 < nDev && layer > 0 {
+			stageOf = append(stageOf, stage+1)
+			rec(layer+1, stage+1)
+			stageOf = stageOf[:len(stageOf)-1]
+		}
+	}
+	stageOf = append(stageOf, 0)
+	rec(1, 0)
+	return best, bestAs
+}
+
+// tinySpec is a 6-layer model small enough to brute-force (2 devices ×
+// 2 bits × 6 layers → 5 partitions × 4096 bit vectors).
+var tinySpec = &model.Spec{
+	Name: "tiny-6l", Layers: 6, Hidden: 1024, FFN: 4096, Heads: 16,
+	Vocab: 32000, MaxPos: 2048, EmbedDim: 1024, LearnedPositions: true,
+}
+
+func TestILPMatchesBruteForce(t *testing.T) {
+	clu := cluster.MustPreset(3) // V100 + A100, two devices
+	devs := clu.Devices()
+	bits := []int{4, 16}
+	ind := ProfileIndicator(tinySpec, bits, quant.Deterministic)
+	batch := workload.Batch{Size: 8, ChunkLen: 256, Chunks: 1, GenTokens: 8}
+
+	for _, theta := range []float64{0, 1, 50} {
+		oc := buildCosts(tinySpec, clu, devs, bits, batch, 4, 4, 16)
+		want, wantAs := bruteForceBest(oc, ind, theta)
+		if wantAs == nil {
+			t.Fatal("brute force found nothing feasible")
+		}
+		as, sol, err := solveILP(oc, ind, theta, ilpConfig{
+			GroupSize: 1, TimeLimit: 30 * time.Second, MaxNodes: 5000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as == nil {
+			t.Fatalf("θ=%v: ILP found no solution (status %v)", theta, sol.Status)
+		}
+		got := evaluate(as, oc, ind, theta)
+		if !got.Feasible {
+			t.Fatalf("θ=%v: ILP solution infeasible", theta)
+		}
+		if got.Objective > want*(1+1e-6)+1e-9 {
+			t.Fatalf("θ=%v: ILP objective %v worse than brute force %v (brute %v vs ilp %v)",
+				theta, got.Objective, want, wantAs, as)
+		}
+	}
+}
+
+func TestHeuristicNearBruteForce(t *testing.T) {
+	// The bitwidth-transfer heuristic must come within 15% of the true
+	// optimum on the tiny instance (it is exact on many seeds; the bound
+	// guards against regressions).
+	clu := cluster.MustPreset(3)
+	devs := clu.Devices()
+	bits := []int{4, 16}
+	ind := ProfileIndicator(tinySpec, bits, quant.Deterministic)
+	batch := workload.Batch{Size: 8, ChunkLen: 256, Chunks: 1, GenTokens: 8}
+	oc := buildCosts(tinySpec, clu, devs, bits, batch, 4, 4, 16)
+	want, _ := bruteForceBest(oc, ind, 1)
+
+	start, err := adabits(oc, ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := bitwidthTransfer(start, oc, ind, 1, 0, 0)
+	got := evaluate(improved, oc, ind, 1)
+	if !got.Feasible {
+		t.Fatal("heuristic infeasible")
+	}
+	if got.Objective > want*1.15 {
+		t.Fatalf("heuristic %v more than 15%% above optimum %v", got.Objective, want)
+	}
+}
+
+func TestBruteForceMemoryConstraintRespected(t *testing.T) {
+	// Sanity on the harness itself: with a huge batch nothing fits and
+	// brute force returns +inf.
+	clu := cluster.MustPreset(3)
+	devs := clu.Devices()
+	bits := []int{16}
+	ind := ProfileIndicator(tinySpec, bits, quant.Deterministic)
+	batch := workload.Batch{Size: 4096, ChunkLen: 2000, Chunks: 1, GenTokens: 48}
+	oc := buildCosts(tinySpec, clu, devs, bits, batch, 64, 64, 16)
+	obj, as := bruteForceBest(oc, ind, 1)
+	if !math.IsInf(obj, 1) || as != nil {
+		t.Fatalf("expected infeasible, got %v", obj)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+// bitwidthTransfer implements the §IV-C heuristic: starting from the
+// adabits solution, it repeatedly applies transformation rules
+// C = (b_st, b_pi, num_s) — bitwidth conversions and boundary-layer
+// repartitions between straggler and pioneer stages — accepting the move
+// that most improves the Eq. 4 objective, until no move helps or the
+// iteration cap is reached.
+func bitwidthTransfer(start *assignment, oc *orderingCosts, ind *Indicator, theta float64, maxIters int, qualityCap float64) *assignment {
+	if maxIters <= 0 {
+		maxIters = 4 * ind.Layers()
+	}
+	cur := start.clone()
+	curEv := evaluate(cur, oc, ind, theta)
+	N := len(oc.devs)
+	for iter := 0; iter < maxIters; iter++ {
+		var best *assignment
+		bestEv := curEv
+		consider := func(cand *assignment) {
+			if !cand.valid(N) {
+				return
+			}
+			ev := evaluate(cand, oc, ind, theta)
+			if !ev.Feasible {
+				return
+			}
+			if qualityCap > 0 && ev.Quality > qualityCap+1e-9 {
+				return
+			}
+			if ev.Objective < bestEv.Objective-1e-12 {
+				best, bestEv = cand, ev
+			}
+		}
+
+		// Move family 1: single-layer bitwidth conversion (any layer,
+		// any alternative bitwidth) — covers the (b_st, b_pi, ·) rules.
+		for i := range cur.bitIdx {
+			for bi := range oc.bits {
+				if bi == cur.bitIdx[i] {
+					continue
+				}
+				cand := cur.clone()
+				cand.bitIdx[i] = bi
+				consider(cand)
+			}
+		}
+		// Move family 2: boundary-layer repartition between adjacent
+		// stages, optionally converting the moved layer's bitwidth so it
+		// fits or runs faster on the receiving device (num_s rule).
+		for i := 1; i < len(cur.stageOf); i++ {
+			if cur.stageOf[i] == cur.stageOf[i-1] {
+				continue
+			}
+			// Boundary between i-1 (stage j) and i (stage j+1):
+			// pull layer i back to stage j, or push layer i-1 forward.
+			for _, move := range [][2]int{{i, cur.stageOf[i-1]}, {i - 1, cur.stageOf[i]}} {
+				layer, to := move[0], move[1]
+				for bi := range oc.bits {
+					cand := cur.clone()
+					cand.stageOf[layer] = to
+					cand.bitIdx[layer] = bi
+					consider(cand)
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		cur, curEv = best, bestEv
+	}
+	return cur
+}

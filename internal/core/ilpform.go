@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// ilpConfig parameterizes one ILP solve for a fixed ordering and
+// micro-batch pair.
+type ilpConfig struct {
+	// GroupSize groups consecutive layers into one decision (§VI-F's
+	// layer grouping); 1 solves the full problem.
+	GroupSize int
+	// TimeLimit bounds the branch-and-bound wall clock (§VI-F uses 60 s).
+	TimeLimit time.Duration
+	// MaxNodes bounds explored nodes (0 = unlimited).
+	MaxNodes int
+	// QualityCap, when > 0, adds Σω ≤ cap (the §VI-C quality floor).
+	QualityCap float64
+	// WarmStart optionally seeds the search.
+	WarmStart *assignment
+}
+
+// groupBounds returns the [start, end) layer ranges of each group.
+func groupBounds(layers, groupSize int) [][2]int {
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	var out [][2]int
+	for lo := 0; lo < layers; lo += groupSize {
+		hi := lo + groupSize
+		if hi > layers {
+			hi = layers
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// solveILP builds and solves the Eq. 4-16 integer program over grouped
+// layers for one (ordering, η, ξ) configuration. It returns the best
+// assignment found, whether optimality was proved, and the node count.
+func solveILP(oc *orderingCosts, ind *Indicator, theta float64, cfg ilpConfig) (*assignment, *ilp.Solution, error) {
+	layers := ind.Layers()
+	groups := groupBounds(layers, cfg.GroupSize)
+	G := len(groups)
+	N := len(oc.devs)
+	K := len(oc.bits)
+	if G < N {
+		return nil, nil, fmt.Errorf("core: %d groups cannot cover %d pipeline stages; lower the group size", G, N)
+	}
+	nz := G * N * K
+	nv := nz + 2 // + Tpre_max, Tdec_max
+	idx := func(g, j, bi int) int { return (g*N+j)*K + bi }
+	tPre, tDec := nz, nz+1
+
+	// ω summed per group and bit.
+	gOmega := make([][]float64, G)
+	for g, b := range groups {
+		gOmega[g] = make([]float64, K)
+		for i := b[0]; i < b[1]; i++ {
+			for bi := 0; bi < K; bi++ {
+				gOmega[g][bi] += ind.Omega[i][bi]
+			}
+		}
+	}
+
+	prob := lp.Problem{C: make([]float64, nv)}
+	n := oc.batch.GenTokens
+	for g, b := range groups {
+		size := float64(b[1] - b[0])
+		for j := 0; j < N; j++ {
+			for bi := 0; bi < K; bi++ {
+				prob.C[idx(g, j, bi)] = size*(oc.prefillLayer(j, bi)+float64(n-1)*oc.decodeLayer(j, bi)) +
+					theta*gOmega[g][bi]
+			}
+		}
+	}
+	prob.C[tPre] = oc.aPre
+	prob.C[tDec] = oc.aDec
+
+	addRow := func(row []float64, sense lp.Sense, rhs float64) {
+		prob.A = append(prob.A, row)
+		prob.Senses = append(prob.Senses, sense)
+		prob.B = append(prob.B, rhs)
+	}
+	// (9) one placement per group.
+	for g := 0; g < G; g++ {
+		row := make([]float64, nv)
+		for j := 0; j < N; j++ {
+			for bi := 0; bi < K; bi++ {
+				row[idx(g, j, bi)] = 1
+			}
+		}
+		addRow(row, lp.EQ, 1)
+	}
+	// (5)-(6) stage-time definitions via Tmax.
+	for j := 0; j < N; j++ {
+		preRow := make([]float64, nv)
+		decRow := make([]float64, nv)
+		for g, b := range groups {
+			size := float64(b[1] - b[0])
+			for bi := 0; bi < K; bi++ {
+				preRow[idx(g, j, bi)] = size * oc.prefillLayer(j, bi)
+				decRow[idx(g, j, bi)] = size * oc.decodeLayer(j, bi)
+			}
+		}
+		preRow[tPre] = -1
+		decRow[tDec] = -1
+		addRow(preRow, lp.LE, 0)
+		addRow(decRow, lp.LE, 0)
+	}
+	// (7) communication lower bounds (constants).
+	maxCPre, maxCDec := 0.0, 0.0
+	for j := 0; j < N; j++ {
+		if oc.commPre[j] > maxCPre {
+			maxCPre = oc.commPre[j]
+		}
+		if oc.commDec[j] > maxCDec {
+			maxCDec = oc.commDec[j]
+		}
+	}
+	if maxCPre > 0 {
+		row := make([]float64, nv)
+		row[tPre] = 1
+		addRow(row, lp.GE, maxCPre)
+	}
+	if maxCDec > 0 {
+		row := make([]float64, nv)
+		row[tDec] = 1
+		addRow(row, lp.GE, maxCDec)
+	}
+	// (12)-(13) memory capacity.
+	for j := 0; j < N; j++ {
+		row := make([]float64, nv)
+		for g, b := range groups {
+			size := float64(b[1] - b[0])
+			for bi := 0; bi < K; bi++ {
+				row[idx(g, j, bi)] = size * float64(oc.memLayer[bi])
+			}
+		}
+		addRow(row, lp.LE, float64(oc.memBudget[j]))
+	}
+	// (15) anchors: first group on the first device, last on the last.
+	firstRow := make([]float64, nv)
+	for bi := 0; bi < K; bi++ {
+		firstRow[idx(0, 0, bi)] = 1
+	}
+	addRow(firstRow, lp.EQ, 1)
+	lastRow := make([]float64, nv)
+	for bi := 0; bi < K; bi++ {
+		lastRow[idx(G-1, N-1, bi)] = 1
+	}
+	addRow(lastRow, lp.EQ, 1)
+	// (16) contiguity: stage index is non-decreasing and rises ≤ 1.
+	for g := 0; g+1 < G; g++ {
+		up := make([]float64, nv)
+		down := make([]float64, nv)
+		for j := 0; j < N; j++ {
+			for bi := 0; bi < K; bi++ {
+				up[idx(g+1, j, bi)] += float64(j)
+				up[idx(g, j, bi)] -= float64(j)
+				down[idx(g+1, j, bi)] += float64(j)
+				down[idx(g, j, bi)] -= float64(j)
+			}
+		}
+		addRow(up, lp.GE, 0)   // stage(g+1) >= stage(g)
+		addRow(down, lp.LE, 1) // stage(g+1) <= stage(g) + 1
+	}
+	// Optional quality floor.
+	if cfg.QualityCap > 0 {
+		row := make([]float64, nv)
+		for g := 0; g < G; g++ {
+			for j := 0; j < N; j++ {
+				for bi := 0; bi < K; bi++ {
+					row[idx(g, j, bi)] = gOmega[g][bi]
+				}
+			}
+		}
+		addRow(row, lp.LE, cfg.QualityCap)
+	}
+
+	binary := make([]int, nz)
+	for i := range binary {
+		binary[i] = i
+	}
+	opts := ilp.Options{TimeLimit: cfg.TimeLimit, MaxNodes: cfg.MaxNodes}
+	if cfg.WarmStart != nil {
+		if ws := warmStartVector(cfg.WarmStart, oc, groups, nv, idx, tPre, tDec); ws != nil {
+			opts.WarmStart = ws
+		}
+	}
+	sol, err := ilp.Solve(&ilp.Problem{LP: prob, Binary: binary}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Status == ilp.Infeasible || sol.Status == ilp.NoSolution {
+		return nil, sol, nil
+	}
+	// Decode z into a per-layer assignment.
+	a := &assignment{stageOf: make([]int, layers), bitIdx: make([]int, layers)}
+	for g, b := range groups {
+		found := false
+		for j := 0; j < N && !found; j++ {
+			for bi := 0; bi < K; bi++ {
+				if sol.X[idx(g, j, bi)] > 0.5 {
+					for i := b[0]; i < b[1]; i++ {
+						a.stageOf[i] = j
+						a.bitIdx[i] = bi
+					}
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return nil, sol, fmt.Errorf("core: ILP solution leaves group %d unassigned", g)
+		}
+	}
+	return a, sol, nil
+}
+
+// warmStartVector converts an assignment into a z-vector when it is
+// group-aligned (constant stage and bit within each group); otherwise it
+// returns nil and the solve starts cold.
+func warmStartVector(a *assignment, oc *orderingCosts, groups [][2]int, nv int,
+	idx func(g, j, bi int) int, tPre, tDec int) []float64 {
+
+	x := make([]float64, nv)
+	preStage := make([]float64, len(oc.devs))
+	decStage := make([]float64, len(oc.devs))
+	for g, b := range groups {
+		j, bi := a.stageOf[b[0]], a.bitIdx[b[0]]
+		for i := b[0] + 1; i < b[1]; i++ {
+			if a.stageOf[i] != j || a.bitIdx[i] != bi {
+				return nil
+			}
+		}
+		x[idx(g, j, bi)] = 1
+		size := float64(b[1] - b[0])
+		preStage[j] += size * oc.prefillLayer(j, bi)
+		decStage[j] += size * oc.decodeLayer(j, bi)
+	}
+	for j := range preStage {
+		p := preStage[j]
+		if oc.commPre[j] > p {
+			p = oc.commPre[j]
+		}
+		if p > x[tPre] {
+			x[tPre] = p
+		}
+		d := decStage[j]
+		if oc.commDec[j] > d {
+			d = oc.commDec[j]
+		}
+		if d > x[tDec] {
+			x[tDec] = d
+		}
+	}
+	return x
+}

@@ -1,0 +1,73 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+// Profiling is a one-time cost per (model, cluster) in the paper; the
+// fitted table can be persisted and reloaded so subsequent planning runs
+// skip calibration.
+
+// tableJSON is the serialized form of a Table.
+type tableJSON struct {
+	BitKV  int         `json:"bit_kv"`
+	Models []entryJSON `json:"models"`
+}
+
+type entryJSON struct {
+	Class     string    `json:"class"`
+	Model     string    `json:"model"`
+	Bit       int       `json:"bit"`
+	Phase     int       `json:"phase"`
+	Weights   []float64 `json:"weights"`
+	Intercept float64   `json:"intercept"`
+	R2        float64   `json:"r2"`
+}
+
+// Save serializes the fitted table to w as JSON.
+func (t *Table) Save(w io.Writer) error {
+	out := tableJSON{BitKV: t.BitKV}
+	for k, m := range t.models {
+		out.Models = append(out.Models, entryJSON{
+			Class: string(k.class), Model: k.model, Bit: k.bit, Phase: int(k.phase),
+			Weights: m.Weights, Intercept: m.Intercept, R2: m.R2,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a table previously written by Save.
+func Load(r io.Reader) (*Table, error) {
+	var in tableJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("costmodel: load: %w", err)
+	}
+	t := NewTable()
+	if in.BitKV != 0 {
+		t.BitKV = in.BitKV
+	}
+	for _, e := range in.Models {
+		if e.Phase != int(Prefill) && e.Phase != int(Decode) {
+			return nil, fmt.Errorf("costmodel: load: bad phase %d", e.Phase)
+		}
+		wantFeatures := 4 // prefill: {v, s, vs, vs²}
+		if Phase(e.Phase) == Decode {
+			wantFeatures = 3 // {v, v·ctx, ctx}
+		}
+		if len(e.Weights) != wantFeatures {
+			return nil, fmt.Errorf("costmodel: load: %s/%s/%d %s has %d weights, want %d",
+				e.Class, e.Model, e.Bit, Phase(e.Phase), len(e.Weights), wantFeatures)
+		}
+		t.models[key{gpu.DeviceClass(e.Class), e.Model, e.Bit, Phase(e.Phase)}] = &stats.OLS{
+			Weights: e.Weights, Intercept: e.Intercept, R2: e.R2,
+		}
+	}
+	return t, nil
+}

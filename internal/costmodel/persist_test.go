@@ -1,0 +1,63 @@
+package costmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/model"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tab := fitAll(t, gpu.V100, model.OPT13B)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bit := range []int{3, 4, 8, 16} {
+		for _, shape := range []struct{ v, s int }{{4, 512}, {7, 999}} {
+			a, err := tab.PredictPrefill(gpu.V100, model.OPT13B, bit, shape.v, shape.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := loaded.PredictPrefill(gpu.V100, model.OPT13B, bit, shape.v, shape.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("round trip changed prediction: %v vs %v", a, b)
+			}
+			da, err := tab.PredictDecode(gpu.V100, model.OPT13B, bit, shape.v, shape.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := loaded.PredictDecode(gpu.V100, model.OPT13B, bit, shape.v, shape.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da != db {
+				t.Fatalf("round trip changed decode prediction: %v vs %v", da, db)
+			}
+		}
+	}
+	if loaded.BitKV != tab.BitKV {
+		t.Fatalf("BitKV %d vs %d", loaded.BitKV, tab.BitKV)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"models":[{"class":"V100-32G","model":"x","bit":4,"phase":9,"weights":[1]}]}`)); err == nil {
+		t.Fatal("bad phase accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"models":[{"class":"V100-32G","model":"x","bit":4,"phase":0,"weights":[1]}]}`)); err == nil {
+		t.Fatal("wrong feature count accepted")
+	}
+}

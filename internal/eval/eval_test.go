@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func proxy(t *testing.T) *Proxy {
+	t.Helper()
+	p, err := NewProxy("opt-1.3b-proxy", 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProxyConstruction(t *testing.T) {
+	p := proxy(t)
+	if p.Layers() != 8 || len(p.Corpora) != 3 {
+		t.Fatalf("proxy shape: layers=%d corpora=%d", p.Layers(), len(p.Corpora))
+	}
+}
+
+func TestUniformQualityOrdering(t *testing.T) {
+	p := proxy(t)
+	r16, err := p.EvalUniform(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := p.EvalUniform(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := p.EvalUniform(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r16.PPL <= r4.PPL && r4.PPL <= r3.PPL) {
+		t.Fatalf("PPL ordering violated: %v %v %v", r16.PPL, r4.PPL, r3.PPL)
+	}
+	if !(r16.Accuracy >= r4.Accuracy && r4.Accuracy >= r3.Accuracy) {
+		t.Fatalf("accuracy ordering violated: %v %v %v", r16.Accuracy, r4.Accuracy, r3.Accuracy)
+	}
+	if r16.Accuracy != 1 {
+		t.Fatalf("fp16 accuracy = %v", r16.Accuracy)
+	}
+}
+
+func TestTableIRangeTrend(t *testing.T) {
+	// Table I: quantizing early layers hurts less than late layers.
+	p := proxy(t)
+	early, err := p.EvalRangeQuantized(0, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := p.EvalRangeQuantized(4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.PPL > late.PPL {
+		t.Fatalf("early-layer quantization PPL %v worse than late %v", early.PPL, late.PPL)
+	}
+}
+
+func TestEvalRangeValidation(t *testing.T) {
+	p := proxy(t)
+	if _, err := p.EvalRangeQuantized(4, 2, 4); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := p.EvalRangeQuantized(0, 99, 4); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestMapBits(t *testing.T) {
+	big := []int{3, 3, 4, 4, 8, 8, 16, 16}
+	small := MapBits(big, 4)
+	want := []int{3, 4, 8, 16}
+	for i := range want {
+		if small[i] != want[i] {
+			t.Fatalf("MapBits = %v, want %v", small, want)
+		}
+	}
+	same := MapBits(big, 8)
+	for i := range big {
+		if same[i] != big[i] {
+			t.Fatal("identity mapping broken")
+		}
+	}
+}
+
+func TestTimeIndicators(t *testing.T) {
+	p := proxy(t)
+	ti, err := p.TimeIndicators([]int{3, 4, 8, 16}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Variance.Layers() != 8 || ti.Hessian.Layers() != 8 {
+		t.Fatal("indicator shapes wrong")
+	}
+	// Table V: the Hessian indicator costs far more compute.
+	if ti.HessianSeconds <= ti.VarianceSeconds {
+		t.Fatalf("hessian %vs not slower than variance %vs", ti.HessianSeconds, ti.VarianceSeconds)
+	}
+}
+
+func TestBudgetedBitsRespectsBudget(t *testing.T) {
+	p := proxy(t)
+	cal, err := p.Calibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind := core.CalibratedIndicator(cal, []int{3, 4, 8, 16}, 0)
+	bits := BudgetedBits(ind, 6)
+	if len(bits) != p.Layers() {
+		t.Fatalf("bits length %d", len(bits))
+	}
+	total := 0
+	for _, b := range bits {
+		total += b
+	}
+	if float64(total)/float64(len(bits)) > 6+1e-9 {
+		t.Fatalf("mean bits %v exceeds budget", float64(total)/float64(len(bits)))
+	}
+	// Budget must actually be used: better than all-3-bit.
+	if total <= 3*len(bits) {
+		t.Fatal("budget unused")
+	}
+}
+
+func TestIndicatorGuidedBeatsRandomOnAverage(t *testing.T) {
+	// Table V essence: variance-indicator-guided bit allocation achieves
+	// PPL at least as good as a random monotone indicator, under the
+	// same mean-bit budget.
+	p := proxy(t)
+	cal, err := p.Calibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitset := []int{3, 4, 8, 16}
+	vInd := core.CalibratedIndicator(cal, bitset, 0)
+	vBits := BudgetedBits(vInd, 5)
+	vRes, err := p.EvalBits(vBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average several random indicators to avoid flakiness.
+	var randSum float64
+	const tries = 3
+	for k := 0; k < tries; k++ {
+		rInd := core.RandomIndicatorMatrix(stats.NewRNG(uint64(100+k)), p.Layers(), bitset)
+		rBits := BudgetedBits(rInd, 5)
+		rRes, err := p.EvalBits(rBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randSum += rRes.PPL
+	}
+	randAvg := randSum / tries
+	if vRes.PPL > randAvg*1.02 {
+		t.Fatalf("variance-guided PPL %v clearly worse than random average %v", vRes.PPL, randAvg)
+	}
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestGPTQBeatsRTNOnProxyPPL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gptq eval is slow")
+	}
+	// Average over seeds: per-model results are noisy at low bitwidths,
+	// but GPTQ's error compensation must win on average at 4 bits.
+	var rtnPPL, gptqPPL, rtnAcc, gptqAcc float64
+	seeds := []uint64{4242, 7, 99}
+	for _, seed := range seeds {
+		p, err := NewProxy("gptq-proxy", 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]int, p.Layers())
+		for i := range bits {
+			bits[i] = 4
+		}
+		rtn, err := p.EvalBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gptq, err := p.EvalBitsGPTQ(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtnPPL += rtn.PPL
+		gptqPPL += gptq.PPL
+		rtnAcc += rtn.Accuracy
+		gptqAcc += gptq.Accuracy
+	}
+	n := float64(len(seeds))
+	if gptqPPL/n >= rtnPPL/n {
+		t.Fatalf("GPTQ mean PPL %v not below RTN %v at 4 bits", gptqPPL/n, rtnPPL/n)
+	}
+	if gptqAcc/n <= rtnAcc/n {
+		t.Fatalf("GPTQ mean accuracy %v not above RTN %v", gptqAcc/n, rtnAcc/n)
+	}
+}
+
+func TestGPTQValidatesBitLength(t *testing.T) {
+	p, err := NewProxy("gptq-proxy-2", 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EvalBitsGPTQ([]int{4}); err == nil {
+		t.Fatal("wrong bit-vector length accepted")
+	}
+}
+
+func TestGPTQFP16IsIdentity(t *testing.T) {
+	p, err := NewProxy("gptq-proxy-3", 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]int, p.Layers())
+	for i := range bits {
+		bits[i] = 16
+	}
+	res, err := p.EvalBitsGPTQ(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy != 1 {
+		t.Fatalf("FP16 GPTQ accuracy = %v", res.Accuracy)
+	}
+}

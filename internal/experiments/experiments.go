@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the
+// SplitQuant paper's evaluation on the simulated substrate. Each
+// experiment is a deterministic function returning a formatted text
+// table plus headline metrics; cmd/experiments prints them and the
+// repository-root benchmarks (bench_test.go) execute them under
+// testing.B. Absolute numbers differ from the paper (the hardware is a
+// roofline simulator and the models are proxies); the shapes —
+// who wins, by roughly what factor, where OOMs appear — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper artifact id, e.g. "fig9" or "table4".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Text is the formatted table for human consumption.
+	Text string
+	// Metrics holds headline numbers (speedups, errors, PPLs) keyed by
+	// name, for benchmarks and assertions.
+	Metrics map[string]float64
+}
+
+// table formats rows of columns with aligned widths.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// All runs every experiment in paper order. Expensive; primarily for
+// `cmd/experiments all`.
+func All() ([]*Result, error) {
+	runs := []func() (*Result, error){
+		Fig1, Fig3, Fig4, Fig5, Table1, Fig7, Fig8, Fig9, Fig10,
+		Table4, Table5, Table6, Fig11, Fig12, Ablations, Extensions,
+	}
+	var out []*Result
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// IDs returns the experiment ids in paper order.
+func IDs() []string {
+	return []string{
+		"fig1", "fig3", "fig4", "fig5", "table1", "fig7", "fig8",
+		"fig9", "fig10", "table4", "table5", "table6", "fig11", "fig12",
+		"ablation", "extensions",
+	}
+}
+
+// ByID dispatches one experiment by id.
+func ByID(id string) (*Result, error) {
+	switch strings.ToLower(id) {
+	case "fig1":
+		return Fig1()
+	case "fig3":
+		return Fig3()
+	case "fig4":
+		return Fig4()
+	case "fig5":
+		return Fig5()
+	case "table1":
+		return Table1()
+	case "fig7":
+		return Fig7()
+	case "fig8":
+		return Fig8()
+	case "fig9":
+		return Fig9()
+	case "fig10":
+		return Fig10()
+	case "table4":
+		return Table4()
+	case "table5":
+		return Table5()
+	case "table6":
+		return Table6()
+	case "fig11":
+		return Fig11()
+	case "fig12":
+		return Fig12()
+	case "ablation":
+		return Ablations()
+	case "extensions":
+		return Extensions()
+	default:
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

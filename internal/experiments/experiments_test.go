@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shapes* each experiment must reproduce (who
+// wins, in which direction) rather than absolute numbers — the
+// reproduction contract recorded in EXPERIMENTS.md. The slowest
+// experiments are skipped under -short.
+
+func metric(t *testing.T, r *Result, key string) float64 {
+	t.Helper()
+	v, ok := r.Metrics[key]
+	if !ok {
+		t.Fatalf("%s missing metric %q (have %v)", r.ID, key, sortedKeys(r.Metrics))
+	}
+	return v
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsDispatch(t *testing.T) {
+	if len(IDs()) < 14 {
+		t.Fatalf("IDs = %v", IDs())
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle := metric(t, r, "idle_fraction"); idle < 0.4 || idle > 0.8 {
+		t.Fatalf("idle fraction %v", idle)
+	}
+	if metric(t, r, "a100_util") <= metric(t, r, "t4_util") {
+		t.Fatal("A100 not hotter than T4")
+	}
+	if !strings.Contains(r.Text, "A100") {
+		t.Fatal("text missing device rows")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := metric(t, r, "p100_v100_prefill_ratio")
+	dec := metric(t, r, "p100_v100_decode_ratio")
+	if pre <= dec {
+		t.Fatalf("prefill ratio %v not above decode ratio %v", pre, dec)
+	}
+	if pre < 8 || pre > 22 || dec < 4 || dec > 12 {
+		t.Fatalf("ratios off-shape: %v / %v (paper 14.53 / 7.29)", pre, dec)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []string{"T4-16G", "V100-32G"} {
+		if metric(t, r, dev+"_decode_int4_speedup") <= 1 {
+			t.Errorf("%s: int4 decode not faster than fp16", dev)
+		}
+	}
+	if metric(t, r, "V100-32G_prefill_int3_slowdown") <= 1 {
+		t.Error("V100 int3 prefill should be slower than fp16")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := metric(t, r, "cnn_avg_out"); out < 270 || out > 330 {
+		t.Fatalf("CNN avg output %v, paper ~299", out)
+	}
+	if out := metric(t, r, "loogle_avg_out"); out < 45 || out > 85 {
+		t.Fatalf("LooGLE avg output %v, paper ~63", out)
+	}
+	if in := metric(t, r, "loogle_avg_prompt"); in < 80000 || in > 120000 {
+		t.Fatalf("LooGLE avg prompt %v, paper ~97k", in)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := metric(t, r, "memory_mape"); m > 0.01 {
+		t.Fatalf("memory MAPE %v, paper: negligible", m)
+	}
+	if m := metric(t, r, "worst_latency_mape"); m > 0.08 {
+		t.Fatalf("worst latency MAPE %v, paper: <6%% average", m)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := metric(t, r, "mean_vs_het"); m < 1 {
+		t.Fatalf("mean speedup vs het %v < 1", m)
+	}
+	if metric(t, r, "uniform_ooms") < 1 {
+		t.Fatal("expected at least one Uniform OOM (the paper's headline)")
+	}
+	// SplitQuant never loses to Het.
+	for k, v := range r.Metrics {
+		if strings.HasSuffix(k, "/vs_het") && v > 0 && v < 0.999 {
+			t.Errorf("%s = %v < 1", k, v)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := metric(t, r, "mean_speedup"); m < 1.05 {
+		t.Fatalf("joint optimization speedup over adabits %v too small", m)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	r, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, r, "two_phase_tps") < metric(t, r, "prefill_only_tps")*0.999 {
+		t.Fatal("two-phase planning worse than prefill-only")
+	}
+	if metric(t, r, "cooptimized_tps") < metric(t, r, "fixed_mb_tps")*0.999 {
+		t.Fatal("micro-batch co-optimization worse than fixed")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 is slow")
+	}
+	r, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := metric(t, r, "mean_speedup"); m < 1.2 {
+		t.Fatalf("mean speedup over Uniform %v too small (paper ~1.37-1.61x)", m)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 is slow")
+	}
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"bloom-3b-proxy", "opt-1.3b-proxy"} {
+		p16 := metric(t, r, m+"/fp/int16/ppl")
+		p4 := metric(t, r, m+"/fp/int4/ppl")
+		p3 := metric(t, r, m+"/fp/int3/ppl")
+		m48 := metric(t, r, m+"/mixed4-8/ppl")
+		if !(p16 <= p4 && p4 <= p3) {
+			t.Errorf("%s: PPL not monotone in bits: %v %v %v", m, p16, p4, p3)
+		}
+		if m48 > p4 {
+			t.Errorf("%s: mixed4-8 PPL %v worse than uniform int4 %v", m, m48, p4)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 is slow")
+	}
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's trend: the earliest range is safest (OPT proxy).
+	if metric(t, r, "opt-1.3b-proxy/range0/ppl") > metric(t, r, "opt-1.3b-proxy/range2/ppl") {
+		t.Error("opt proxy: early-range quantization worse than late-range")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table5 is slow")
+	}
+	r, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"opt-66b-proxy", "opt-30b-proxy"} {
+		varOv := metric(t, r, m+"/splitquant/overhead")
+		hessOv := metric(t, r, m+"/hessian/overhead")
+		if hessOv <= varOv {
+			t.Errorf("%s: hessian overhead %v not above variance %v", m, hessOv, varOv)
+		}
+		// Variance-guided PPL is competitive with Hessian-guided.
+		vp := metric(t, r, m+"/splitquant/ppl")
+		hp := metric(t, r, m+"/hessian/ppl")
+		if vp > hp*1.05 {
+			t.Errorf("%s: variance PPL %v clearly worse than hessian %v", m, vp, hp)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table4 is slow")
+	}
+	r, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range []string{"c9", "c10"} {
+		pp := metric(t, r, cn+"/uniform/PP4")
+		tp4 := metric(t, r, cn+"/uniform/TP4")
+		sq := metric(t, r, cn+"/splitquant/optimal")
+		if tp4 <= pp {
+			t.Errorf("%s: TP4 %v not above PP4 %v", cn, tp4, pp)
+		}
+		if sq < tp4*0.999 {
+			t.Errorf("%s: splitquant %v below best uniform %v", cn, sq, tp4)
+		}
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table6 is slow")
+	}
+	r, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic's throughput is within a few percent of the grouped
+	// ILP on every cluster (the paper's scalability claim).
+	for _, cn := range []string{"c5", "c6", "c9"} {
+		h := metric(t, r, cn+"/heuristic/tps")
+		g := metric(t, r, cn+"/group=8/tps")
+		if h < g*0.9 {
+			t.Errorf("%s: heuristic %v far below group=8 ILP %v", cn, h, g)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 is slow")
+	}
+	r, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger θ: throughput must not rise, quality penalty must not rise.
+	lowTPS := metric(t, r, "c8/theta0.1/tps")
+	highTPS := metric(t, r, "c8/theta100.0/tps")
+	if highTPS > lowTPS*1.001 {
+		t.Errorf("θ↑ raised throughput: %v → %v", lowTPS, highTPS)
+	}
+	lowQ := metric(t, r, "c8/theta0.1/quality")
+	highQ := metric(t, r, "c8/theta100.0/quality")
+	if highQ > lowQ+1e-9 {
+		t.Errorf("θ↑ worsened quality: %v → %v", lowQ, highQ)
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions is slow")
+	}
+	r, err := Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, r, "gptq_w4_ppl") >= metric(t, r, "rtn_w4_ppl") {
+		t.Error("GPTQ not below RTN")
+	}
+	if metric(t, r, "smooth_a4_ppl") > metric(t, r, "plain_a4_ppl") {
+		t.Error("SmoothQuant did not help W16A4")
+	}
+	if metric(t, r, "awq_w3_werr") >= metric(t, r, "rtn_w3_werr") {
+		t.Error("AWQ not below RTN on weighted error")
+	}
+}

@@ -1,0 +1,97 @@
+// Package fleet synthesizes the production-cluster statistics behind the
+// paper's Fig. 1: the mix of GPU generations in a large shared fleet and
+// the per-type monthly utilization gap that motivates harvesting
+// low-calibre GPUs for offline LLM serving. The real trace is
+// proprietary; the generator is parameterized to the published shape —
+// few high-end A100s running hot, a long tail of T4/P100/V100 capacity
+// sitting underused.
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+// Share is one device class's slice of the fleet.
+type Share struct {
+	Class gpu.DeviceClass
+	// Fraction of all fleet GPUs of this class (sums to 1 across shares).
+	Fraction float64
+	// BaseUtil is the long-run mean utilization (effective GPU hours /
+	// available GPU hours).
+	BaseUtil float64
+}
+
+// DefaultShares is the Fig. 1-shaped fleet composition: mostly
+// inference-class T4s and previous-generation V100/P100s, with a small,
+// heavily used A100 pool.
+var DefaultShares = []Share{
+	{Class: gpu.T4, Fraction: 0.42, BaseUtil: 0.38},
+	{Class: gpu.V100, Fraction: 0.28, BaseUtil: 0.46},
+	{Class: gpu.P100, Fraction: 0.20, BaseUtil: 0.24},
+	{Class: gpu.A100, Fraction: 0.10, BaseUtil: 0.85},
+}
+
+// Trace is a synthetic monthly utilization trace per device class.
+type Trace struct {
+	Months int
+	// Util[class][m] is the utilization of month m in [0, 1].
+	Util map[gpu.DeviceClass][]float64
+	// Shares echoes the composition used.
+	Shares []Share
+}
+
+// Generate synthesizes a months-long utilization trace with bounded
+// month-to-month noise around each class's base utilization.
+func Generate(rng *stats.RNG, shares []Share, months int) (*Trace, error) {
+	if months <= 0 {
+		return nil, fmt.Errorf("fleet: months = %d", months)
+	}
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("fleet: no shares")
+	}
+	total := 0.0
+	for _, s := range shares {
+		if s.Fraction < 0 || s.BaseUtil < 0 || s.BaseUtil > 1 {
+			return nil, fmt.Errorf("fleet: invalid share %+v", s)
+		}
+		total += s.Fraction
+	}
+	if total < 0.99 || total > 1.01 {
+		return nil, fmt.Errorf("fleet: fractions sum to %v, want 1", total)
+	}
+	tr := &Trace{Months: months, Util: map[gpu.DeviceClass][]float64{}, Shares: shares}
+	for _, s := range shares {
+		series := make([]float64, months)
+		for m := range series {
+			u := s.BaseUtil + rng.NormMS(0, 0.04)
+			if u < 0.02 {
+				u = 0.02
+			}
+			if u > 0.98 {
+				u = 0.98
+			}
+			series[m] = u
+		}
+		tr.Util[s.Class] = series
+	}
+	return tr, nil
+}
+
+// MeanUtil returns the average utilization of a class over the trace.
+func (t *Trace) MeanUtil(class gpu.DeviceClass) float64 {
+	return stats.Mean(t.Util[class])
+}
+
+// IdleCapacityFraction returns the fraction of total fleet GPU hours
+// left idle — the harvesting opportunity SplitQuant targets.
+func (t *Trace) IdleCapacityFraction() float64 {
+	idle, totalW := 0.0, 0.0
+	for _, s := range t.Shares {
+		idle += s.Fraction * (1 - t.MeanUtil(s.Class))
+		totalW += s.Fraction
+	}
+	return idle / totalW
+}

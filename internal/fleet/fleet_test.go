@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+func TestGenerateShape(t *testing.T) {
+	tr, err := Generate(stats.NewRNG(1), DefaultShares, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Months != 12 || len(tr.Util) != 4 {
+		t.Fatalf("trace shape: months=%d classes=%d", tr.Months, len(tr.Util))
+	}
+	for class, series := range tr.Util {
+		if len(series) != 12 {
+			t.Fatalf("%s series length %d", class, len(series))
+		}
+		for _, u := range series {
+			if u < 0 || u > 1 {
+				t.Fatalf("%s utilization %v out of range", class, u)
+			}
+		}
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	// A100s few but hot; T4s plentiful but underused (Fig. 1).
+	tr, err := Generate(stats.NewRNG(2), DefaultShares, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MeanUtil(gpu.A100) <= tr.MeanUtil(gpu.T4)+0.2 {
+		t.Fatalf("A100 %v not far above T4 %v", tr.MeanUtil(gpu.A100), tr.MeanUtil(gpu.T4))
+	}
+	if tr.MeanUtil(gpu.P100) >= tr.MeanUtil(gpu.V100) {
+		t.Fatalf("P100 %v not below V100 %v", tr.MeanUtil(gpu.P100), tr.MeanUtil(gpu.V100))
+	}
+	var a100Frac, t4Frac float64
+	for _, s := range tr.Shares {
+		switch s.Class {
+		case gpu.A100:
+			a100Frac = s.Fraction
+		case gpu.T4:
+			t4Frac = s.Fraction
+		}
+	}
+	if a100Frac >= t4Frac {
+		t.Fatal("A100 share should be the minority")
+	}
+}
+
+func TestIdleCapacitySubstantial(t *testing.T) {
+	tr, err := Generate(stats.NewRNG(3), DefaultShares, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := tr.IdleCapacityFraction()
+	if idle < 0.4 || idle > 0.8 {
+		t.Fatalf("idle fraction %v outside the motivating range", idle)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(stats.NewRNG(7), DefaultShares, 6)
+	b, _ := Generate(stats.NewRNG(7), DefaultShares, 6)
+	for class := range a.Util {
+		for m := range a.Util[class] {
+			if a.Util[class][m] != b.Util[class][m] {
+				t.Fatal("trace not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(stats.NewRNG(1), DefaultShares, 0); err == nil {
+		t.Fatal("zero months accepted")
+	}
+	if _, err := Generate(stats.NewRNG(1), nil, 12); err == nil {
+		t.Fatal("empty shares accepted")
+	}
+	bad := []Share{{Class: gpu.T4, Fraction: 0.5, BaseUtil: 0.5}}
+	if _, err := Generate(stats.NewRNG(1), bad, 12); err == nil {
+		t.Fatal("non-unit fractions accepted")
+	}
+	if _, err := Generate(stats.NewRNG(1), []Share{{Class: gpu.T4, Fraction: 1, BaseUtil: math.Inf(1)}}, 12); err == nil {
+		t.Fatal("invalid utilization accepted")
+	}
+}

@@ -1,0 +1,333 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c·x
+//	subject to  A·x {<=,=,>=} b,   x >= 0
+//
+// It is the reproduction's substitute for the commercial LP engine
+// underneath GUROBI: internal/ilp builds a branch-and-bound MILP solver
+// on top of the relaxations solved here. Bland's pivoting rule is used
+// throughout, trading speed for guaranteed termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // =
+)
+
+// Problem is an LP in standard inequality form over x >= 0.
+type Problem struct {
+	// C is the objective (minimized).
+	C []float64
+	// A holds one dense coefficient row per constraint.
+	A [][]float64
+	// Senses holds one direction per constraint.
+	Senses []Sense
+	// B is the right-hand side.
+	B []float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solver outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted.
+	IterLimit
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Validate checks the problem dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Senses) {
+		return fmt.Errorf("lp: %d rows, %d rhs, %d senses", len(p.A), len(p.B), len(p.Senses))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// tableau is the working state of the simplex method.
+type tableau struct {
+	rows, cols int // constraint rows, total columns (vars incl. slack/artificial)
+	a          [][]float64
+	b          []float64
+	basis      []int // basic variable per row
+	nOrig      int   // original variable count
+	artStart   int   // first artificial column, or cols if none
+}
+
+// Solve runs two-phase simplex with the given iteration limit per phase
+// (0 means a generous default).
+func Solve(p *Problem, maxIter int) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+	if maxIter <= 0 {
+		maxIter = 50 * (n + m + 10)
+	}
+
+	// Normalize to non-negative RHS.
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	senses := make([]Sense, m)
+	for i := range p.A {
+		rows[i] = append([]float64(nil), p.A[i]...)
+		rhs[i] = p.B[i]
+		senses[i] = p.Senses[i]
+		if rhs[i] < 0 {
+			for j := range rows[i] {
+				rows[i][j] = -rows[i][j]
+			}
+			rhs[i] = -rhs[i]
+			switch senses[i] {
+			case LE:
+				senses[i] = GE
+			case GE:
+				senses[i] = LE
+			}
+		}
+	}
+
+	// Count slack and artificial columns.
+	nSlack, nArt := 0, 0
+	for _, s := range senses {
+		switch s {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt
+	t := &tableau{rows: m, cols: cols, nOrig: n, artStart: n + nSlack}
+	t.a = make([][]float64, m)
+	t.b = append([]float64(nil), rhs...)
+	t.basis = make([]int, m)
+	slackCol := n
+	artCol := n + nSlack
+	for i := 0; i < m; i++ {
+		t.a[i] = make([]float64, cols)
+		copy(t.a[i], rows[i])
+		switch senses[i] {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		phase1 := make([]float64, cols)
+		for j := t.artStart; j < cols; j++ {
+			phase1[j] = 1
+		}
+		status, obj := t.optimize(phase1, maxIter)
+		if status == IterLimit {
+			return &Solution{Status: IterLimit}, nil
+		}
+		if obj > 1e-6 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any residual artificial out of the basis.
+		for i, bv := range t.basis {
+			if bv < t.artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artStart; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it so it never pivots again.
+				for j := range t.a[i] {
+					t.a[i][j] = 0
+				}
+				t.b[i] = 0
+				t.basis[i] = -1
+			}
+		}
+		// Remove artificial columns from consideration by zeroing them.
+		for i := 0; i < m; i++ {
+			for j := t.artStart; j < cols; j++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: the real objective over original + slack columns.
+	phase2 := make([]float64, cols)
+	copy(phase2, p.C)
+	status, obj := t.optimize(phase2, maxIter)
+	switch status {
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit}, nil
+	}
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv >= 0 && bv < n {
+			x[bv] = t.b[i]
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// optimize runs primal simplex minimizing c over the current basis. It
+// returns the status and final objective value.
+func (t *tableau) optimize(c []float64, maxIter int) (Status, float64) {
+	// Reduced costs are computed directly each iteration (dense; fine at
+	// the problem sizes the planner produces).
+	y := make([]float64, t.cols) // reduced cost buffer
+	for iter := 0; iter < maxIter; iter++ {
+		// reduced cost r_j = c_j - sum_i c_basis[i] * a[i][j]
+		for j := 0; j < t.cols; j++ {
+			y[j] = c[j]
+		}
+		for i, bv := range t.basis {
+			if bv < 0 {
+				continue
+			}
+			cb := c[bv]
+			if cb == 0 {
+				continue
+			}
+			row := t.a[i]
+			for j := 0; j < t.cols; j++ {
+				y[j] -= cb * row[j]
+			}
+		}
+		// Bland: entering variable = smallest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if y[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			// Optimal: compute objective.
+			obj := 0.0
+			for i, bv := range t.basis {
+				if bv >= 0 {
+					obj += c[bv] * t.b[i]
+				}
+			}
+			return Optimal, obj
+		}
+		// Ratio test (Bland: smallest basis index breaks ties).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+	}
+	return IterLimit, 0
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	piv := t.a[leave][enter]
+	inv := 1 / piv
+	row := t.a[leave]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.rows; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[leave]
+		if math.Abs(t.b[i]) < eps {
+			t.b[i] = 0
+		}
+	}
+	t.basis[leave] = enter
+}

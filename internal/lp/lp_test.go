@@ -1,0 +1,298 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	return s
+}
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x+y<=4, x+3y<=6  → min -3x-2y; optimum x=4,y=0, obj -12.
+	p := &Problem{
+		C:      []float64{-3, -2},
+		A:      [][]float64{{1, 1}, {1, 3}},
+		Senses: []Sense{LE, LE},
+		B:      []float64{4, 6},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+12) > 1e-6 {
+		t.Fatalf("objective = %v, want -12", s.Objective)
+	}
+	if math.Abs(s.X[0]-4) > 1e-6 || math.Abs(s.X[1]) > 1e-6 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x+y s.t. x+y = 10, x >= 3 → obj 10.
+	p := &Problem{
+		C:      []float64{1, 1},
+		A:      [][]float64{{1, 1}, {1, 0}},
+		Senses: []Sense{EQ, GE},
+		B:      []float64{10, 3},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-10) > 1e-6 {
+		t.Fatalf("objective = %v", s.Objective)
+	}
+	if s.X[0] < 3-1e-6 {
+		t.Fatalf("x[0] = %v violates x>=3", s.X[0])
+	}
+	if math.Abs(s.X[0]+s.X[1]-10) > 1e-6 {
+		t.Fatalf("equality violated: %v", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{1}, {1}},
+		Senses: []Sense{LE, GE},
+		B:      []float64{1, 2},
+	}
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x with x >= 0 unconstrained above.
+	p := &Problem{
+		C:      []float64{-1},
+		A:      [][]float64{{1}},
+		Senses: []Sense{GE},
+		B:      []float64{0},
+	}
+	s, err := Solve(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -5  (i.e. x >= 5).
+	p := &Problem{
+		C:      []float64{1},
+		A:      [][]float64{{-1}},
+		Senses: []Sense{LE},
+		B:      []float64{-5},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-5) > 1e-6 {
+		t.Fatalf("x = %v, want 5", s.X[0])
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Degeneracy-prone: multiple constraints active at the optimum.
+	p := &Problem{
+		C:      []float64{-1, -1},
+		A:      [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		Senses: []Sense{LE, LE, LE},
+		B:      []float64{1, 1, 2},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+2) > 1e-6 {
+		t.Fatalf("objective = %v, want -2", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows must not break phase 1.
+	p := &Problem{
+		C:      []float64{2, 3},
+		A:      [][]float64{{1, 1}, {1, 1}, {1, 0}},
+		Senses: []Sense{EQ, EQ, LE},
+		B:      []float64{4, 4, 3},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]+s.X[1]-4) > 1e-6 {
+		t.Fatalf("equality violated: %v", s.X)
+	}
+	if math.Abs(s.Objective-(2*4)) > 1e-6 && s.Objective > 12+1e-6 {
+		t.Fatalf("objective = %v", s.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Solve(&Problem{}, 0); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	bad := &Problem{C: []float64{1}, A: [][]float64{{1, 2}}, Senses: []Sense{LE}, B: []float64{1}}
+	if _, err := Solve(bad, 0); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	bad2 := &Problem{C: []float64{1}, A: [][]float64{{1}}, Senses: []Sense{LE}, B: []float64{1, 2}}
+	if _, err := Solve(bad2, 0); err == nil {
+		t.Fatal("mismatched rhs accepted")
+	}
+}
+
+func TestBoxedAssignmentLP(t *testing.T) {
+	// A miniature of the planner's relaxation: 2 items × 2 slots binary
+	// assignment, each item in exactly one slot, slot capacities 1,
+	// costs chosen so the optimum is integral.
+	// Vars: x00 x01 x10 x11.
+	p := &Problem{
+		C: []float64{1, 5, 5, 1},
+		A: [][]float64{
+			{1, 1, 0, 0},                                           // item 0 placed once
+			{0, 0, 1, 1},                                           // item 1 placed once
+			{1, 0, 1, 0},                                           // slot 0 capacity
+			{0, 1, 0, 1},                                           // slot 1 capacity
+			{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}, // x <= 1
+		},
+		Senses: []Sense{EQ, EQ, LE, LE, LE, LE, LE, LE},
+		B:      []float64{1, 1, 1, 1, 1, 1, 1, 1},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+	if math.Abs(s.X[0]-1) > 1e-6 || math.Abs(s.X[3]-1) > 1e-6 {
+		t.Fatalf("assignment = %v", s.X)
+	}
+}
+
+func TestRandomLPsSatisfyConstraintsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.IntRange(2, 6)
+		m := r.IntRange(1, 6)
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = r.Float64() // non-negative objective → bounded below by 0
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = r.Float64()
+			}
+			p.A = append(p.A, row)
+			p.Senses = append(p.Senses, LE)
+			p.B = append(p.B, 1+r.Float64()*10)
+		}
+		s, err := Solve(p, 0)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Check feasibility of the returned point.
+		for i, row := range p.A {
+			lhs := 0.0
+			for j, c := range row {
+				lhs += c * s.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		// All-LE with non-negative costs: optimum is x = 0.
+		return math.Abs(s.Objective) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedSenseRandomFeasibilityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := r.IntRange(2, 5)
+		// Build a feasible problem by construction around x0.
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = r.Float64() * 5
+		}
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = r.NormMS(0, 1)
+		}
+		m := r.IntRange(2, 6)
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			lhs := 0.0
+			for j := range row {
+				row[j] = r.NormMS(0, 1)
+				lhs += row[j] * x0[j]
+			}
+			switch r.Intn(3) {
+			case 0:
+				p.Senses = append(p.Senses, LE)
+				p.B = append(p.B, lhs+r.Float64())
+			case 1:
+				p.Senses = append(p.Senses, GE)
+				p.B = append(p.B, lhs-r.Float64())
+			default:
+				p.Senses = append(p.Senses, EQ)
+				p.B = append(p.B, lhs)
+			}
+			p.A = append(p.A, row)
+		}
+		// Box the variables so nothing is unbounded.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.Senses = append(p.Senses, LE)
+			p.B = append(p.B, 100)
+		}
+		s, err := Solve(p, 0)
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			return false // x0 is feasible by construction
+		}
+		for i, row := range p.A {
+			lhs := 0.0
+			for j, c := range row {
+				lhs += c * s.X[j]
+			}
+			switch p.Senses[i] {
+			case LE:
+				if lhs > p.B[i]+1e-5 {
+					return false
+				}
+			case GE:
+				if lhs < p.B[i]-1e-5 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-p.B[i]) > 1e-5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,273 @@
+// Package pipeline executes deployment plans on the simulated cluster:
+// a discrete-event pipeline simulator that schedules prefill chunks and
+// decode steps through the plan's stages with micro-batching,
+// asynchronous inter-stage transfers, a master engine performing
+// embedding and LM-head work, and per-stage memory (OOM) accounting.
+// Its outputs — end-to-end batch latency and output-token throughput —
+// are the "measured" numbers of the evaluation figures, independent of
+// the planner's analytic objective.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// ErrOOM marks plans whose stages exceed device memory, mirroring the
+// "0 = OOM" bars of Fig. 10.
+var ErrOOM = errors.New("pipeline: stage exceeds device memory")
+
+// Result summarizes one simulated batch execution.
+type Result struct {
+	// PrefillSeconds is the time from batch start to the last prefill
+	// micro-batch leaving the pipeline.
+	PrefillSeconds float64
+	// DecodeSeconds is the token-generation time for the remaining n-1
+	// tokens.
+	DecodeSeconds float64
+	// TotalSeconds is end-to-end batch latency.
+	TotalSeconds float64
+	// OutputTokens is B·n.
+	OutputTokens int
+	// Throughput is OutputTokens / TotalSeconds (tkn/s).
+	Throughput float64
+	// StagePrefill and StageDecode give per-stage per-pass latencies
+	// (decode at mid-generation context), for bottleneck analysis.
+	StagePrefill []float64
+	StageDecode  []float64
+	// StageMemory is the accounted bytes per stage.
+	StageMemory []int64
+	// StageBusy is the accumulated compute time per stage; dividing by
+	// TotalSeconds gives per-stage utilization.
+	StageBusy []float64
+	// BubbleFraction is 1 − mean stage utilization: the share of
+	// stage-seconds lost to pipeline bubbles and imbalance.
+	BubbleFraction float64
+	// TTFT is the time to first token: when the first prefill
+	// micro-batch's logits are ready (§II-C's online-serving metric,
+	// reported for reference even though SplitQuant targets offline
+	// throughput).
+	TTFT float64
+	// TBT is the mean time between tokens during decode.
+	TBT float64
+}
+
+// Utilization returns StageBusy[i] / TotalSeconds for each stage.
+func (r *Result) Utilization() []float64 {
+	out := make([]float64, len(r.StageBusy))
+	if r.TotalSeconds <= 0 {
+		return out
+	}
+	for i, b := range r.StageBusy {
+		out[i] = b / r.TotalSeconds
+	}
+	return out
+}
+
+// Simulate runs the plan for one batch of the given workload on the
+// cluster and returns the measured result. It fails with ErrOOM when a
+// stage does not fit, and with a validation error for malformed plans.
+func Simulate(p *plan.Plan, spec *model.Spec, clu *cluster.Cluster, batch workload.Batch) (*Result, error) {
+	if err := p.Validate(spec.Layers); err != nil {
+		return nil, err
+	}
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	nStages := len(p.Stages)
+	mm := costmodel.MemoryModel{}
+
+	// ---- Memory accounting (constraints 12-13). ----
+	// KV is reserved for every concurrent request (batch.Size); the
+	// transient activation buffer is sized by the prefill micro-batch,
+	// which is what actually flows through a stage at once.
+	actV := p.PrefillMicroBatch
+	if actV > batch.Size {
+		actV = batch.Size
+	}
+	memory := make([]int64, nStages)
+	for i, st := range p.Stages {
+		for _, bit := range st.Bits {
+			memory[i] += mm.LayerBytes(spec, bit)
+			memory[i] += mm.KVBytes(spec, batch.Size, batch.PaddedPrompt(), batch.Reserve(), p.BitKV)
+		}
+		memory[i] += mm.ActivationBytes(spec, actV, batch.ChunkLen)
+		if i == 0 {
+			memory[i] += mm.EmbeddingBytes(spec)
+		}
+		if memory[i] > st.Device.UsableMemory() {
+			return nil, fmt.Errorf("%w: stage %d needs %.2f GiB, device %s has %.2f GiB",
+				ErrOOM, i, gib(memory[i]), st.Device.ID, gib(st.Device.UsableMemory()))
+		}
+	}
+
+	// ---- Stage latency helpers. ----
+	prefillStage := func(i int, v int) float64 {
+		st := p.Stages[i]
+		t := 0.0
+		for _, bit := range st.Bits {
+			t += devPrefill(st.Device, spec, v, batch.ChunkLen, bit)
+		}
+		return t
+	}
+	decodeStage := func(i int, v, ctx int) float64 {
+		st := p.Stages[i]
+		t := 0.0
+		for _, bit := range st.Bits {
+			t += devDecode(st.Device, spec, v, ctx, bit, p.BitKV)
+		}
+		return t
+	}
+	master := p.Stages[0].Device
+	linkTime := func(i int, bytes int64) float64 {
+		if i >= nStages-1 {
+			return 0
+		}
+		bw := clu.LinkBandwidth(&p.Stages[i].Device, &p.Stages[i+1].Device)
+		return float64(bytes) / bw
+	}
+
+	// ---- Prefill phase: μpre micro-batches × κ chunks, event-driven. ----
+	eta := p.PrefillMicroBatch
+	if eta > batch.Size {
+		eta = batch.Size
+	}
+	muPre := ceilDiv(batch.Size, eta)
+	stageFree := make([]float64, nStages)
+	stageBusy := make([]float64, nStages)
+	embed := devEmbed(master, spec, eta, batch.ChunkLen)
+	var prefillEnd, firstOut float64
+	for mb := 0; mb < muPre; mb++ {
+		for chunk := 0; chunk < batch.Chunks; chunk++ {
+			// The master embeds each chunk before stage 0 consumes it.
+			arrive := embed * float64(mb*batch.Chunks+chunk+1)
+			for j := 0; j < nStages; j++ {
+				start := arrive
+				if stageFree[j] > start {
+					start = stageFree[j]
+				}
+				work := prefillStage(j, eta)
+				finish := start + work
+				stageFree[j] = finish
+				stageBusy[j] += work
+				arrive = finish + linkTime(j, spec.ActivationTransferBytes(eta, batch.ChunkLen))
+			}
+			if arrive > prefillEnd {
+				prefillEnd = arrive
+			}
+			if mb == 0 && chunk == batch.Chunks-1 {
+				firstOut = arrive + devLMHead(master, spec, eta)
+			}
+		}
+	}
+	// First-token LM head for every request.
+	prefillEnd += devLMHead(master, spec, batch.Size)
+
+	// ---- Decode phase: n-1 steps, micro-batches of ξ. ----
+	xi := p.DecodeMicroBatch
+	if xi > batch.Size {
+		xi = batch.Size
+	}
+	muDec := ceilDiv(batch.Size, xi)
+	decSteps := batch.GenTokens - 1
+	decodeEnd := prefillEnd
+	if decSteps > 0 {
+		for j := range stageFree {
+			stageFree[j] = prefillEnd
+		}
+		// mbReady[m] = when micro-batch m's next step may begin (its
+		// previous token has been sampled).
+		mbReady := make([]float64, muDec)
+		for m := range mbReady {
+			mbReady[m] = prefillEnd
+		}
+		lm := devLMHead(master, spec, xi)
+		for t := 0; t < decSteps; t++ {
+			ctx := batch.PaddedPrompt() + t + 1
+			for m := 0; m < muDec; m++ {
+				arrive := mbReady[m]
+				for j := 0; j < nStages; j++ {
+					start := arrive
+					if stageFree[j] > start {
+						start = stageFree[j]
+					}
+					work := decodeStage(j, xi, ctx)
+					finish := start + work
+					stageFree[j] = finish
+					stageBusy[j] += work
+					arrive = finish + linkTime(j, spec.ActivationTransferBytes(xi, 1))
+				}
+				mbReady[m] = arrive + lm
+				if mbReady[m] > decodeEnd {
+					decodeEnd = mbReady[m]
+				}
+			}
+		}
+	}
+
+	// ---- Assemble the result. ----
+	res := &Result{
+		PrefillSeconds: prefillEnd,
+		DecodeSeconds:  decodeEnd - prefillEnd,
+		TotalSeconds:   decodeEnd,
+		OutputTokens:   batch.Size * batch.GenTokens,
+		StagePrefill:   make([]float64, nStages),
+		StageDecode:    make([]float64, nStages),
+		StageMemory:    memory,
+		StageBusy:      stageBusy,
+	}
+	if res.TotalSeconds > 0 {
+		var util float64
+		for _, b := range stageBusy {
+			util += b / res.TotalSeconds
+		}
+		res.BubbleFraction = 1 - util/float64(nStages)
+	}
+	midCtx := batch.PaddedPrompt() + batch.GenTokens/2
+	for j := 0; j < nStages; j++ {
+		res.StagePrefill[j] = prefillStage(j, eta)
+		res.StageDecode[j] = decodeStage(j, xi, midCtx)
+	}
+	if res.TotalSeconds > 0 {
+		res.Throughput = float64(res.OutputTokens) / res.TotalSeconds
+	}
+	res.TTFT = firstOut
+	if decSteps > 0 {
+		res.TBT = res.DecodeSeconds / float64(decSteps)
+	}
+	return res, nil
+}
+
+// devPrefill dispatches to the TP group when present.
+func devPrefill(d cluster.Device, m *model.Spec, v, seq, bit int) float64 {
+	if d.Group != nil && d.TPDegree > 1 {
+		return d.Group.PrefillLayerLatency(m, v, seq, bit)
+	}
+	return d.Spec.PrefillLayerLatency(m, v, seq, bit)
+}
+
+// devDecode dispatches to the TP group when present.
+func devDecode(d cluster.Device, m *model.Spec, v, ctx, bit, bitKV int) float64 {
+	if d.Group != nil && d.TPDegree > 1 {
+		return d.Group.DecodeLayerLatency(m, v, ctx, bit, bitKV)
+	}
+	return d.Spec.DecodeLayerLatency(m, v, ctx, bit, bitKV)
+}
+
+func devEmbed(d cluster.Device, m *model.Spec, v, seq int) float64 {
+	return d.Spec.EmbedLatency(m, v, seq)
+}
+
+func devLMHead(d cluster.Device, m *model.Spec, v int) float64 {
+	return d.Spec.LMHeadLatency(m, v)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func gib(b int64) float64 { return float64(b) / (1 << 30) }

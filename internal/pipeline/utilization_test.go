@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func TestUtilizationBounds(t *testing.T) {
+	clu := cluster.MustPreset(9)
+	spec := model.OPT13B
+	p := evenPlan(spec, clu, 8, 8, 8)
+	res, err := Simulate(p, spec, clu, workload.Batch{Size: 32, ChunkLen: 512, Chunks: 1, GenTokens: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	utils := res.Utilization()
+	if len(utils) != 4 {
+		t.Fatalf("utilization per stage: %v", utils)
+	}
+	for i, u := range utils {
+		if u <= 0 || u > 1.0001 {
+			t.Fatalf("stage %d utilization %v out of (0, 1]", i, u)
+		}
+	}
+	if res.BubbleFraction < 0 || res.BubbleFraction >= 1 {
+		t.Fatalf("bubble fraction %v", res.BubbleFraction)
+	}
+}
+
+func TestBalancedPlanHasFewerBubbles(t *testing.T) {
+	// On a heterogeneous cluster, an even split leaves the fast device
+	// idle; a speed-balanced split must reduce the bubble fraction.
+	clu := cluster.MustPreset(6) // 3×P100 + V100
+	spec := model.OPT13B
+	batch := workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 16}
+
+	even := evenPlan(spec, clu, 4, 4, 4)
+	evenRes, err := Simulate(even, spec, clu, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-balanced: V100 takes most layers.
+	devs := clu.Devices()
+	bits := func(n int) []int {
+		b := make([]int, n)
+		for i := range b {
+			b[i] = 4
+		}
+		return b
+	}
+	pb := even
+	pb.Stages = nil
+	counts := []int{3, 3, 3, 31}
+	first := 0
+	for i, d := range devs {
+		pb.Stages = append(pb.Stages, plan.Stage{Device: d, FirstLayer: first, Bits: bits(counts[i])})
+		first += counts[i]
+	}
+	balRes, err := Simulate(pb, spec, clu, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balRes.BubbleFraction >= evenRes.BubbleFraction {
+		t.Fatalf("balanced plan bubbles %v not below even split %v",
+			balRes.BubbleFraction, evenRes.BubbleFraction)
+	}
+	if balRes.Throughput <= evenRes.Throughput {
+		t.Fatalf("balanced plan throughput %v not above even %v",
+			balRes.Throughput, evenRes.Throughput)
+	}
+}
+
+func TestTTFTAndTBT(t *testing.T) {
+	clu := cluster.MustPreset(9)
+	spec := model.OPT13B
+	p := evenPlan(spec, clu, 8, 8, 8)
+	res, err := Simulate(p, spec, clu, workload.Batch{Size: 32, ChunkLen: 512, Chunks: 1, GenTokens: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TTFT <= 0 || res.TTFT > res.PrefillSeconds+1e-9 {
+		t.Fatalf("TTFT %v outside (0, prefill %v]", res.TTFT, res.PrefillSeconds)
+	}
+	if res.TBT <= 0 {
+		t.Fatalf("TBT = %v", res.TBT)
+	}
+	// Mean TBT × steps reconstructs decode time.
+	recon := res.TBT * float64(32-1)
+	if recon/res.DecodeSeconds > 1.001 || res.DecodeSeconds/recon > 1.001 {
+		t.Fatalf("TBT inconsistent: %v × 31 = %v vs decode %v", res.TBT, recon, res.DecodeSeconds)
+	}
+}

@@ -1,0 +1,84 @@
+package quant
+
+import "fmt"
+
+// BitPacker writes fixed-width unsigned integers into a dense []uint64,
+// the storage format for 3/4/8-bit quantized weights. Packing is
+// little-endian within each word and values may straddle word boundaries,
+// so 3-bit weights really occupy 3 bits each — the memory cost model's
+// 4·bit/32 bytes-per-weight factor is what the runtime actually stores.
+type BitPacker struct {
+	bits  int
+	words []uint64
+	n     int // values written
+}
+
+// NewBitPacker returns a packer for width-bit values. It panics for
+// widths outside [1, 32].
+func NewBitPacker(bits int) *BitPacker {
+	if bits < 1 || bits > 32 {
+		panic(fmt.Sprintf("quant: NewBitPacker(%d)", bits))
+	}
+	return &BitPacker{bits: bits}
+}
+
+// Append writes v's low bits. Bits above the width are discarded.
+func (p *BitPacker) Append(v uint32) {
+	mask := uint64(1)<<p.bits - 1
+	val := uint64(v) & mask
+	bitPos := p.n * p.bits
+	word := bitPos >> 6
+	off := bitPos & 63
+	for word >= len(p.words) {
+		p.words = append(p.words, 0)
+	}
+	p.words[word] |= val << off
+	if off+p.bits > 64 {
+		p.words = append(p.words, 0)
+		p.words[word+1] |= val >> (64 - off)
+	}
+	p.n++
+}
+
+// Len returns the number of values written.
+func (p *BitPacker) Len() int { return p.n }
+
+// Bytes returns the storage footprint in bytes (rounded up to words).
+func (p *BitPacker) Bytes() int64 { return int64(len(p.words)) * 8 }
+
+// Finish freezes the packer into a read-only PackedInts.
+func (p *BitPacker) Finish() *PackedInts {
+	return &PackedInts{bits: p.bits, words: p.words, n: p.n}
+}
+
+// PackedInts is a read-only sequence of fixed-width unsigned integers.
+type PackedInts struct {
+	bits  int
+	words []uint64
+	n     int
+}
+
+// Len returns the number of stored values.
+func (p *PackedInts) Len() int { return p.n }
+
+// Bits returns the width of each stored value.
+func (p *PackedInts) Bits() int { return p.bits }
+
+// Bytes returns the storage footprint in bytes.
+func (p *PackedInts) Bytes() int64 { return int64(len(p.words)) * 8 }
+
+// At returns the i-th stored value. It panics if i is out of range.
+func (p *PackedInts) At(i int) uint32 {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("quant: PackedInts.At(%d) with %d values", i, p.n))
+	}
+	mask := uint64(1)<<p.bits - 1
+	bitPos := i * p.bits
+	word := bitPos >> 6
+	off := bitPos & 63
+	v := p.words[word] >> off
+	if off+p.bits > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	return uint32(v & mask)
+}

@@ -1,0 +1,99 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestBitPackerRoundTrip(t *testing.T) {
+	for _, bits := range []int{3, 4, 8, 13} {
+		p := NewBitPacker(bits)
+		max := uint32(1)<<bits - 1
+		vals := []uint32{0, 1, max, max / 2, 1, 0, max}
+		for _, v := range vals {
+			p.Append(v)
+		}
+		packed := p.Finish()
+		if packed.Len() != len(vals) {
+			t.Fatalf("bits=%d Len=%d want %d", bits, packed.Len(), len(vals))
+		}
+		for i, v := range vals {
+			if got := packed.At(i); got != v {
+				t.Fatalf("bits=%d At(%d)=%d want %d", bits, i, got, v)
+			}
+		}
+	}
+}
+
+func TestBitPackerWordBoundary(t *testing.T) {
+	// 3-bit values straddle the 64-bit boundary at value index 21 (63 bits).
+	p := NewBitPacker(3)
+	for i := 0; i < 100; i++ {
+		p.Append(uint32(i % 8))
+	}
+	packed := p.Finish()
+	for i := 0; i < 100; i++ {
+		if got := packed.At(i); got != uint32(i%8) {
+			t.Fatalf("At(%d)=%d want %d", i, got, i%8)
+		}
+	}
+}
+
+func TestBitPackerMasksHighBits(t *testing.T) {
+	p := NewBitPacker(4)
+	p.Append(0xFF) // only low 4 bits kept
+	if got := p.Finish().At(0); got != 0xF {
+		t.Fatalf("masked value = %d", got)
+	}
+}
+
+func TestBitPackerStorageDensity(t *testing.T) {
+	p := NewBitPacker(3)
+	n := 64000
+	for i := 0; i < n; i++ {
+		p.Append(5)
+	}
+	bytes := p.Finish().Bytes()
+	// 64000 * 3 bits = 24000 bytes; allow one word of slack.
+	if bytes < 24000 || bytes > 24008 {
+		t.Fatalf("3-bit storage = %d bytes for %d values", bytes, n)
+	}
+}
+
+func TestBitPackerRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		bits := []int{3, 4, 8}[r.Intn(3)]
+		n := r.IntRange(1, 300)
+		vals := make([]uint32, n)
+		p := NewBitPacker(bits)
+		for i := range vals {
+			vals[i] = uint32(r.Intn(1 << bits))
+			p.Append(vals[i])
+		}
+		packed := p.Finish()
+		for i, v := range vals {
+			if packed.At(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedAtPanicsOutOfRange(t *testing.T) {
+	p := NewBitPacker(4)
+	p.Append(1)
+	packed := p.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	packed.At(1)
+}

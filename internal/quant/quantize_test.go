@@ -1,0 +1,213 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+func randMatrix(r *stats.RNG, rows, cols int, std float64) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormMS(0, std))
+	}
+	return m
+}
+
+func TestSchemeValidate(t *testing.T) {
+	for _, bits := range []int{3, 4, 8, 16} {
+		if err := (Scheme{Bits: bits}).Validate(); err != nil {
+			t.Fatalf("bits %d rejected: %v", bits, err)
+		}
+	}
+	for _, bits := range []int{0, 1, 2, 5, 7, 32} {
+		if err := (Scheme{Bits: bits}).Validate(); err == nil {
+			t.Fatalf("bits %d accepted", bits)
+		}
+	}
+	if err := (Scheme{Bits: 4, GroupSize: -1}).Validate(); err == nil {
+		t.Fatal("negative group size accepted")
+	}
+}
+
+func TestScaleFactor(t *testing.T) {
+	// Asymmetric: (max-min)/(2^b-1).
+	if got := ScaleFactor(-1, 1, 4, false); math.Abs(got-2.0/15) > 1e-12 {
+		t.Fatalf("asym scale = %v", got)
+	}
+	// Symmetric: max(|max|,|min|)/(2^(b-1)-1).
+	if got := ScaleFactor(-2, 1, 4, true); math.Abs(got-2.0/7) > 1e-12 {
+		t.Fatalf("sym scale = %v", got)
+	}
+	if got := ScaleFactor(-1, 1, 16, false); got != 0 {
+		t.Fatalf("fp16 scale = %v", got)
+	}
+	if got := ScaleFactor(3, 3, 8, false); got != 0 {
+		t.Fatalf("constant-vector scale = %v", got)
+	}
+}
+
+func TestQuantizeIdentityFP16(t *testing.T) {
+	r := stats.NewRNG(1)
+	w := randMatrix(r, 4, 8, 1)
+	q, err := Quantize(w, FP16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := q.Dequantize()
+	if tensor.MaxAbsDiff(w, dq) != 0 {
+		t.Fatal("FP16 scheme altered weights")
+	}
+	if q.Bytes() != int64(4*8*2) {
+		t.Fatalf("FP16 bytes = %d", q.Bytes())
+	}
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	r := stats.NewRNG(2)
+	w := randMatrix(r, 16, 64, 0.02)
+	// More bits → lower error, for both symmetric and asymmetric.
+	for _, sym := range []bool{false, true} {
+		var prev float64 = math.Inf(1)
+		for _, bits := range []int{8, 4, 3} {
+			mse, err := MSE(w, Scheme{Bits: bits, Symmetric: sym}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bits == 8 && mse == 0 {
+				t.Fatal("int8 error exactly zero is implausible")
+			}
+			_ = prev
+			prev = mse
+		}
+		mse8, _ := MSE(w, Scheme{Bits: 8, Symmetric: sym}, nil)
+		mse3, _ := MSE(w, Scheme{Bits: 3, Symmetric: sym}, nil)
+		if mse8 >= mse3 {
+			t.Fatalf("sym=%v: int8 MSE %v >= int3 MSE %v", sym, mse8, mse3)
+		}
+	}
+}
+
+func TestQuantizeBoundedError(t *testing.T) {
+	// Deterministic asymmetric round-trip error is bounded by scale/2 per
+	// element (half a quantization step).
+	r := stats.NewRNG(3)
+	w := randMatrix(r, 8, 32, 0.05)
+	q, err := Quantize(w, Scheme{Bits: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dq := q.Dequantize()
+	maxScale := 0.0
+	for _, s := range q.Scales {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	if d := tensor.MaxAbsDiff(w, dq); d > maxScale/2+1e-6 {
+		t.Fatalf("max error %v exceeds half-step %v", d, maxScale/2)
+	}
+}
+
+func TestStochasticRequiresRNG(t *testing.T) {
+	w := tensor.NewMatrix(1, 4)
+	if _, err := Quantize(w, Scheme{Bits: 4, Rounding: Stochastic}, nil); err == nil {
+		t.Fatal("stochastic without RNG accepted")
+	}
+}
+
+func TestStochasticUnbiased(t *testing.T) {
+	// Quantizing the same value many times with stochastic rounding should
+	// average back to roughly the original value.
+	r := stats.NewRNG(4)
+	w := tensor.FromSlice(1, 2, []float32{0.31, -0.77})
+	var sum0, sum1 float64
+	n := 3000
+	for i := 0; i < n; i++ {
+		dq, err := QuantDequant(w, Scheme{Bits: 3, Rounding: Stochastic}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum0 += float64(dq.Data[0])
+		sum1 += float64(dq.Data[1])
+	}
+	if math.Abs(sum0/float64(n)-0.31) > 0.02 || math.Abs(sum1/float64(n)+0.77) > 0.02 {
+		t.Fatalf("stochastic bias: means %v %v", sum0/float64(n), sum1/float64(n))
+	}
+}
+
+func TestGroupQuantizationImprovesError(t *testing.T) {
+	// A matrix with per-region scale differences benefits from groups.
+	r := stats.NewRNG(5)
+	w := tensor.NewMatrix(4, 256)
+	for row := 0; row < 4; row++ {
+		for c := 0; c < 256; c++ {
+			std := 0.01
+			if c >= 128 {
+				std = 1.0 // second half has much larger magnitude
+			}
+			w.Set(row, c, float32(r.NormMS(0, std)))
+		}
+	}
+	whole, err := MSE(w, Scheme{Bits: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := MSE(w, Scheme{Bits: 4, GroupSize: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped >= whole {
+		t.Fatalf("group quantization MSE %v >= per-row %v", grouped, whole)
+	}
+}
+
+func TestQuantizedBytesMatchBitwidth(t *testing.T) {
+	r := stats.NewRNG(6)
+	w := randMatrix(r, 64, 512, 0.02)
+	var prev int64 = 1 << 62
+	for _, bits := range []int{8, 4, 3} {
+		q, err := Quantize(w, Scheme{Bits: bits}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Bytes() >= prev {
+			t.Fatalf("bytes not decreasing with bits: %d bits → %d", bits, q.Bytes())
+		}
+		prev = q.Bytes()
+		// Packed payload should be close to rows*cols*bits/8.
+		wantPayload := int64(64*512*bits) / 8
+		if q.Values.Bytes() < wantPayload || q.Values.Bytes() > wantPayload+8*64 {
+			t.Fatalf("bits=%d payload=%d want ~%d", bits, q.Values.Bytes(), wantPayload)
+		}
+	}
+}
+
+func TestQuantizeRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		rows, cols := r.IntRange(1, 12), r.IntRange(1, 40)
+		w := randMatrix(r, rows, cols, 0.1)
+		bits := []int{3, 4, 8}[r.Intn(3)]
+		sym := r.Intn(2) == 0
+		q, err := Quantize(w, Scheme{Bits: bits, Symmetric: sym}, nil)
+		if err != nil {
+			return false
+		}
+		dq := q.Dequantize()
+		// Error must be bounded by the largest scale step.
+		maxScale := 0.0
+		for _, s := range q.Scales {
+			if s > maxScale {
+				maxScale = s
+			}
+		}
+		return tensor.MaxAbsDiff(w, dq) <= maxScale+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SmoothQuant-style activation smoothing (Xiao et al.), one of the
+// weight-activation schemes the paper integrates: activation outliers
+// concentrate in a few input channels, which makes W8A8 quantization of
+// X lossy; a per-channel rescaling
+//
+//	X'_j = X_j / s_j,   W'_{j,·} = s_j · W_{j,·},   s_j = max|X_j|^α / max|W_j|^(1−α)
+//
+// migrates the difficulty from activations into weights while keeping
+// the product X·W mathematically unchanged, so both tensors quantize
+// well afterwards.
+
+// SmoothScales computes the per-input-channel migration factors for a
+// linear operator with weights w (in × out, input-major as used by
+// tinyllm) and calibration activations x (samples × in). alpha in (0, 1)
+// balances the migration (0.5 is the paper default).
+func SmoothScales(w, x *tensor.Matrix, alpha float64) ([]float64, error) {
+	if w.Rows != x.Cols {
+		return nil, fmt.Errorf("quant: smoothing shape mismatch: weights have %d inputs, activations %d channels", w.Rows, x.Cols)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("quant: smoothing alpha %v outside (0,1)", alpha)
+	}
+	if x.Rows == 0 {
+		return nil, fmt.Errorf("quant: smoothing needs calibration samples")
+	}
+	in := w.Rows
+	scales := make([]float64, in)
+	for j := 0; j < in; j++ {
+		var maxX float64
+		for r := 0; r < x.Rows; r++ {
+			v := math.Abs(float64(x.At(r, j)))
+			if v > maxX {
+				maxX = v
+			}
+		}
+		var maxW float64
+		row := w.Row(j)
+		for _, v := range row {
+			a := math.Abs(float64(v))
+			if a > maxW {
+				maxW = a
+			}
+		}
+		if maxX == 0 || maxW == 0 {
+			scales[j] = 1
+			continue
+		}
+		s := math.Pow(maxX, alpha) / math.Pow(maxW, 1-alpha)
+		if s < 1e-5 {
+			s = 1e-5
+		}
+		scales[j] = s
+	}
+	return scales, nil
+}
+
+// ApplySmoothing returns rescaled copies (w', x') such that x'·w' equals
+// x·w exactly in real arithmetic.
+func ApplySmoothing(w, x *tensor.Matrix, scales []float64) (*tensor.Matrix, *tensor.Matrix, error) {
+	if len(scales) != w.Rows || w.Rows != x.Cols {
+		return nil, nil, fmt.Errorf("quant: smoothing with %d scales for %d inputs / %d channels",
+			len(scales), w.Rows, x.Cols)
+	}
+	wOut := w.Clone()
+	for j := 0; j < w.Rows; j++ {
+		row := wOut.Row(j)
+		s := float32(scales[j])
+		for c := range row {
+			row[c] *= s
+		}
+	}
+	xOut := x.Clone()
+	for r := 0; r < x.Rows; r++ {
+		row := xOut.Row(r)
+		for j := range row {
+			row[j] /= float32(scales[j])
+		}
+	}
+	return wOut, xOut, nil
+}
+
+// JointQuantError measures the W8A8-style end-to-end error of a linear
+// operator: both weights (in × out) and activations (samples × in) are
+// fake-quantized with their schemes and the mean squared output
+// deviation ‖X·W − X̂·Ŵ‖²/n is returned.
+func JointQuantError(w, x *tensor.Matrix, weightScheme, actScheme Scheme) (float64, error) {
+	wq, err := QuantDequant(w, weightScheme, nil)
+	if err != nil {
+		return 0, err
+	}
+	xq, err := QuantDequant(x, actScheme, nil)
+	if err != nil {
+		return 0, err
+	}
+	ref := tensor.MatMul(x, w)
+	got := tensor.MatMul(xq, wq)
+	var sum float64
+	for i := range ref.Data {
+		d := float64(ref.Data[i] - got.Data[i])
+		sum += d * d
+	}
+	return sum / float64(len(ref.Data)), nil
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// OLS holds a fitted ordinary least-squares linear model
+// y ≈ w·x + b. It is the regression primitive behind the latency cost
+// model of SplitQuant (§IV-A), which regresses phase execution time on
+// phase-aware features such as {v, s, v·s, v·s²}.
+type OLS struct {
+	// Weights are the per-feature coefficients.
+	Weights []float64
+	// Intercept is the constant term.
+	Intercept float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+}
+
+// ErrSingular is returned when the normal equations are singular (e.g.
+// collinear features or fewer samples than features).
+var ErrSingular = errors.New("stats: singular design matrix")
+
+// FitOLS fits y ≈ X·w + b by solving the normal equations with Gaussian
+// elimination and partial pivoting. Every row of X must have the same
+// length; len(X) must equal len(y).
+func FitOLS(X [][]float64, y []float64) (*OLS, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: FitOLS needs matching non-empty X (%d) and y (%d)", n, len(y))
+	}
+	k := len(X[0])
+	for i, row := range X {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: FitOLS row %d has %d features, want %d", i, len(row), k)
+		}
+	}
+	// Augment with a constant-1 column for the intercept.
+	d := k + 1
+	// Build A = Z'Z and rhs = Z'y where Z = [X | 1].
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	rhs := make([]float64, d)
+	zi := make([]float64, d)
+	for r := 0; r < n; r++ {
+		copy(zi, X[r])
+		zi[k] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				A[i][j] += zi[i] * zi[j]
+			}
+			rhs[i] += zi[i] * y[r]
+		}
+	}
+	sol, err := SolveLinear(A, rhs)
+	if err != nil {
+		return nil, err
+	}
+	m := &OLS{Weights: sol[:k], Intercept: sol[k]}
+	// R².
+	ybar := Mean(y)
+	ssTot, ssRes := 0.0, 0.0
+	for r := 0; r < n; r++ {
+		pred := m.Predict(X[r])
+		ssRes += (y[r] - pred) * (y[r] - pred)
+		ssTot += (y[r] - ybar) * (y[r] - ybar)
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// Predict evaluates the fitted model at feature vector x. It panics if x
+// has the wrong length.
+func (m *OLS) Predict(x []float64) float64 {
+	if len(x) != len(m.Weights) {
+		panic(fmt.Sprintf("stats: Predict with %d features, model has %d", len(x), len(m.Weights)))
+	}
+	s := m.Intercept
+	for i, w := range m.Weights {
+		s += w * x[i]
+	}
+	return s
+}
+
+// SolveLinear solves A·x = b for square A using Gaussian elimination with
+// partial pivoting. A and b are not modified. It returns ErrSingular when
+// no unique solution exists.
+func SolveLinear(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("stats: SolveLinear dimension mismatch (%d rows, %d rhs)", n, len(b))
+	}
+	// Work on copies.
+	M := make([][]float64, n)
+	for i := range M {
+		if len(A[i]) != n {
+			return nil, fmt.Errorf("stats: SolveLinear row %d has %d cols, want %d", i, len(A[i]), n)
+		}
+		M[i] = append([]float64(nil), A[i]...)
+		M[i] = append(M[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(M[piv][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		M[col], M[piv] = M[piv], M[col]
+		inv := 1 / M[col][col]
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := M[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= M[r][c] * x[c]
+		}
+		x[r] = s / M[r][r]
+	}
+	return x, nil
+}

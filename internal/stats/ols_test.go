@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitOLSExact(t *testing.T) {
+	// y = 3x1 - 2x2 + 5 exactly.
+	X := [][]float64{{1, 0}, {0, 1}, {2, 3}, {4, 1}, {5, 5}}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		y[i] = 3*row[0] - 2*row[1] + 5
+	}
+	m, err := FitOLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 1e-9 || math.Abs(m.Weights[1]+2) > 1e-9 || math.Abs(m.Intercept-5) > 1e-9 {
+		t.Fatalf("fit = %+v", m)
+	}
+	if m.R2 < 0.999999 {
+		t.Fatalf("R2 = %v", m.R2)
+	}
+}
+
+func TestFitOLSNoisy(t *testing.T) {
+	r := NewRNG(42)
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		x1, x2 := r.Float64()*10, r.Float64()*10
+		X = append(X, []float64{x1, x2})
+		y = append(y, 2*x1+7*x2+1+r.NormMS(0, 0.01))
+	}
+	m, err := FitOLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-2) > 0.01 || math.Abs(m.Weights[1]-7) > 0.01 {
+		t.Fatalf("noisy fit = %+v", m)
+	}
+}
+
+func TestFitOLSSingular(t *testing.T) {
+	// Collinear features.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	_, err := FitOLS(X, y)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFitOLSDimensionErrors(t *testing.T) {
+	if _, err := FitOLS(nil, nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := FitOLS([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestPredictPanicsOnWrongLen(t *testing.T) {
+	m := &OLS{Weights: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestSolveLinear(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	A := [][]float64{{1, 1}, {2, 2}}
+	if _, err := SolveLinear(A, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSolveLinearPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := r.IntRange(1, 6)
+		A := make([][]float64, n)
+		xTrue := make([]float64, n)
+		for i := range A {
+			A[i] = make([]float64, n)
+			for j := range A[i] {
+				A[i][j] = r.NormMS(0, 1)
+			}
+			A[i][i] += float64(n) // diagonally dominant → nonsingular
+			xTrue[i] = r.NormMS(0, 3)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range xTrue {
+				b[i] += A[i][j] * xTrue[j]
+			}
+		}
+		x, err := SolveLinear(A, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

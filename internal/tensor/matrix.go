@@ -1,0 +1,208 @@
+// Package tensor implements the dense float32 linear-algebra kernels that
+// back the reproduction's real transformer forward pass (internal/tinyllm)
+// and the quantization library (internal/quant): matrix multiplication
+// (parallel, cache-blocked), softmax, layer normalization, GELU, and the
+// small utility operations an LLM decoder needs.
+//
+// Matrices are stored row-major in a flat []float32 so the hot loops are
+// contiguous and vectorizable by the compiler.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix returns a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d)", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) as a rows×cols matrix without copying.
+// It panics if the shape does not match len(data).
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if rows*cols != len(data) {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d with %d elements", rows, cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view (no copy) of row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			out.Data[c*m.Rows+r] = v
+		}
+	}
+	return out
+}
+
+// parallelThreshold is the minimum amount of multiply-accumulate work
+// below which MatMul stays single-threaded; goroutine fan-out costs more
+// than it saves on tiny problems.
+const parallelThreshold = 1 << 16
+
+// MatMul computes a·b, parallelizing over row blocks of a. It panics on
+// shape mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	nw := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || nw <= 1 || a.Rows == 1 {
+		matMulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	if nw > a.Rows {
+		nw = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matMulRange computes rows [lo, hi) of out = a·b using an ikj loop order
+// so the inner loop streams both b and out rows contiguously.
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Data[k*n : k*n+n]
+			for j := range br {
+				or[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// MatMulTransB computes a·bᵀ without materializing the transpose; b must
+// have the same number of columns as a.
+func MatMulTransB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float32
+			for k := range ar {
+				s += ar[k] * br[k]
+			}
+			or[j] = s
+		}
+	}
+	return out
+}
+
+// AddBias adds the bias vector to each row of m in place. It panics if
+// len(bias) != m.Cols.
+func AddBias(m *Matrix, bias []float32) {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddBias len %d on %d cols", len(bias), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] += bias[c]
+		}
+	}
+}
+
+// Add returns a+b elementwise. It panics on shape mismatch.
+func Add(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: Add shape mismatch")
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every element of m by f in place.
+func Scale(m *Matrix, f float32) {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+}
+
+// Frobenius returns the Frobenius norm of m.
+func Frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_i |a_i - b_i|, a convenient error metric between
+// two equal-shaped matrices. It panics on shape mismatch.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,5 @@
+package tinyllm
+
+// depthScale controls how fast synthetic weight magnitude grows with
+// layer depth (see New). Exposed as a variable for experiments.
+var depthScale = 24.0

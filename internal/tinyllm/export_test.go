@@ -1,0 +1,4 @@
+package tinyllm
+
+// SetDepthScale overrides the depth-growth factor in tests.
+func SetDepthScale(s float64) { depthScale = s }

@@ -1,0 +1,190 @@
+package tinyllm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// KVCache stores the per-layer key/value tensors accumulated during
+// generation; decode steps attend over it (Fig. 2's two-phase pattern).
+type KVCache struct {
+	K []*tensor.Matrix // per layer: positions × hidden
+	V []*tensor.Matrix
+}
+
+// Len returns the number of cached positions.
+func (c *KVCache) Len() int {
+	if len(c.K) == 0 || c.K[0] == nil {
+		return 0
+	}
+	return c.K[0].Rows
+}
+
+// Tap observes the activations entering each linear operator during a
+// forward pass (used to collect calibration inputs for the sensitivity
+// indicators).
+type Tap func(layer int, op string, x *tensor.Matrix)
+
+// Prefill runs the prompt-processing phase over tokens, returning the
+// logits at every position (seq × vocab) and the populated KV cache.
+func (m *Model) Prefill(tokens []int) (*tensor.Matrix, *KVCache, error) {
+	return m.prefill(tokens, nil)
+}
+
+// PrefillTapped is Prefill with an activation tap.
+func (m *Model) PrefillTapped(tokens []int, tap Tap) (*tensor.Matrix, *KVCache, error) {
+	return m.prefill(tokens, tap)
+}
+
+func (m *Model) prefill(tokens []int, tap Tap) (*tensor.Matrix, *KVCache, error) {
+	seq := len(tokens)
+	if seq == 0 {
+		return nil, nil, fmt.Errorf("tinyllm: empty prompt")
+	}
+	if seq > m.Cfg.MaxPos {
+		return nil, nil, fmt.Errorf("tinyllm: prompt length %d exceeds max positions %d", seq, m.Cfg.MaxPos)
+	}
+	h := m.Cfg.Hidden
+	x := tensor.NewMatrix(seq, h)
+	for t, tok := range tokens {
+		if tok < 0 || tok >= m.Cfg.Vocab {
+			return nil, nil, fmt.Errorf("tinyllm: token %d out of vocab %d", tok, m.Cfg.Vocab)
+		}
+		row := x.Row(t)
+		te := m.TokEmb.Row(tok)
+		pe := m.PosEmb.Row(t)
+		for c := range row {
+			row[c] = te[c] + pe[c]
+		}
+	}
+	cache := &KVCache{K: make([]*tensor.Matrix, len(m.Blocks)), V: make([]*tensor.Matrix, len(m.Blocks))}
+	for li, b := range m.Blocks {
+		x = m.blockForward(li, b, x, cache, 0, tap)
+	}
+	logits := m.head(x)
+	return logits, cache, nil
+}
+
+// DecodeStep feeds one new token per call, attending over the cache, and
+// returns the logits for the next-token distribution (1 × vocab).
+func (m *Model) DecodeStep(token int, cache *KVCache) (*tensor.Matrix, error) {
+	if cache == nil || len(cache.K) != len(m.Blocks) {
+		return nil, fmt.Errorf("tinyllm: decode without a prefilled cache")
+	}
+	pos := cache.Len()
+	if pos >= m.Cfg.MaxPos {
+		return nil, fmt.Errorf("tinyllm: position %d exceeds max positions %d", pos, m.Cfg.MaxPos)
+	}
+	if token < 0 || token >= m.Cfg.Vocab {
+		return nil, fmt.Errorf("tinyllm: token %d out of vocab %d", token, m.Cfg.Vocab)
+	}
+	h := m.Cfg.Hidden
+	x := tensor.NewMatrix(1, h)
+	row := x.Row(0)
+	te := m.TokEmb.Row(token)
+	pe := m.PosEmb.Row(pos)
+	for c := range row {
+		row[c] = te[c] + pe[c]
+	}
+	for li, b := range m.Blocks {
+		x = m.blockForward(li, b, x, cache, pos, nil)
+	}
+	return m.head(x), nil
+}
+
+// blockForward runs one decoder block over x (rows = new positions),
+// appending this pass's K/V to the cache. offset is the number of
+// already-cached positions preceding x.
+func (m *Model) blockForward(li int, b *Block, x *tensor.Matrix, cache *KVCache, offset int, tp Tap) *tensor.Matrix {
+	// Attention sublayer (pre-LN).
+	hN := x.Clone()
+	tensor.LayerNorm(hN, b.LN1Gain, b.LN1Bias, 1e-5)
+	if tp != nil {
+		tp(li, "attn_in", hN)
+	}
+	hN = m.maybeQuantAct(hN)
+	q := tensor.MatMul(hN, b.Wq)
+	k := tensor.MatMul(hN, b.Wk)
+	v := tensor.MatMul(hN, b.Wv)
+	// Grow the cache.
+	if cache.K[li] == nil {
+		cache.K[li], cache.V[li] = k, v
+	} else {
+		cache.K[li] = vconcat(cache.K[li], k)
+		cache.V[li] = vconcat(cache.V[li], v)
+	}
+	attnOut := m.attention(q, cache.K[li], cache.V[li], offset)
+	if tp != nil {
+		tp(li, "attn_out", attnOut)
+	}
+	attnOut = m.maybeQuantAct(attnOut)
+	proj := tensor.MatMul(attnOut, b.Wo)
+	x = tensor.Add(x, proj)
+
+	// MLP sublayer.
+	hN2 := x.Clone()
+	tensor.LayerNorm(hN2, b.LN2Gain, b.LN2Bias, 1e-5)
+	if tp != nil {
+		tp(li, "mlp_in", hN2)
+	}
+	hN2 = m.maybeQuantAct(hN2)
+	inner := tensor.MatMul(hN2, b.W1)
+	tensor.GELU(inner)
+	if tp != nil {
+		tp(li, "mlp_mid", inner)
+	}
+	inner = m.maybeQuantAct(inner)
+	out := tensor.MatMul(inner, b.W2)
+	return tensor.Add(x, out)
+}
+
+// attention computes causal multi-head attention of queries q (rows =
+// new positions, preceded by offset cached ones) over keys/values k, v
+// (rows = all positions so far).
+func (m *Model) attention(q, k, v *tensor.Matrix, offset int) *tensor.Matrix {
+	heads := m.Cfg.Heads
+	d := m.Cfg.Hidden / heads
+	scale := float32(1 / math.Sqrt(float64(d)))
+	out := tensor.NewMatrix(q.Rows, m.Cfg.Hidden)
+	for hd := 0; hd < heads; hd++ {
+		lo := hd * d
+		qh := slice(q, lo, d)
+		kh := slice(k, lo, d)
+		vh := slice(v, lo, d)
+		scores := tensor.MatMulTransB(qh, kh)
+		tensor.Scale(scores, scale)
+		tensor.CausalMask(scores, offset)
+		tensor.Softmax(scores)
+		oh := tensor.MatMul(scores, vh)
+		for r := 0; r < out.Rows; r++ {
+			copy(out.Row(r)[lo:lo+d], oh.Row(r))
+		}
+	}
+	return out
+}
+
+// slice copies columns [lo, lo+w) of m into a new matrix.
+func slice(m *tensor.Matrix, lo, w int) *tensor.Matrix {
+	out := tensor.NewMatrix(m.Rows, w)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r), m.Row(r)[lo:lo+w])
+	}
+	return out
+}
+
+// vconcat stacks b under a.
+func vconcat(a, b *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(a.Rows+b.Rows, a.Cols)
+	copy(out.Data[:len(a.Data)], a.Data)
+	copy(out.Data[len(a.Data):], b.Data)
+	return out
+}
+
+// head applies the final layer norm and the LM-head projection.
+func (m *Model) head(x *tensor.Matrix) *tensor.Matrix {
+	xn := x.Clone()
+	tensor.LayerNorm(xn, m.FinalGain, m.FinalBias, 1e-5)
+	return tensor.MatMulTransB(xn, m.LMHead)
+}

@@ -1,0 +1,317 @@
+// Package transport runs the tiny distributed inference runtime over
+// real TCP connections: each pipeline stage is a server process holding
+// a contiguous block range of a tinyllm model (quantized per the plan),
+// and a master driver embeds tokens, streams hidden states through the
+// stage chain with gob encoding, and applies the LM head. It is the
+// reproduction's analogue of SplitQuant's worker processes — stage
+// boundaries, per-stage KV caches, and activation transfers are real,
+// even though the model is small.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/quant"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/tinyllm"
+)
+
+// Request is one stage-advance message.
+type Request struct {
+	// Session identifies a generation stream (its KV cache).
+	Session uint64
+	// Offset is the number of positions already cached for the session.
+	Offset int
+	// Rows/Cols/Data carry the hidden states row-major.
+	Rows, Cols int
+	Data       []float32
+	// Close releases the session's cache instead of computing.
+	Close bool
+}
+
+// Response carries the advanced hidden states or an error.
+type Response struct {
+	Rows, Cols int
+	Data       []float32
+	Err        string
+}
+
+// StageServer serves ForwardBlocks for a block range of one model.
+type StageServer struct {
+	model  *tinyllm.Model
+	lo, hi int
+
+	mu       sync.Mutex
+	sessions map[uint64]*tinyllm.KVCache
+	lis      net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewStageServer builds a stage over blocks [lo, hi) of a model
+// reconstructed from (cfg, seed) and fake-quantized with the given
+// per-layer bits (full-model length; only the stage's slice matters).
+func NewStageServer(cfg tinyllm.Config, seed uint64, bits []int, lo, hi int) (*StageServer, error) {
+	m, err := tinyllm.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if bits != nil {
+		m, err = m.ApplyBits(bits, quant.Scheme{}, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if lo < 0 || hi > cfg.Layers || lo >= hi {
+		return nil, fmt.Errorf("transport: stage range [%d, %d) of %d", lo, hi, cfg.Layers)
+	}
+	return &StageServer{model: m, lo: lo, hi: hi, sessions: map[uint64]*tinyllm.KVCache{}}, nil
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns the bound address.
+func (s *StageServer) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+func (s *StageServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *StageServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle advances one request through the stage's blocks.
+func (s *StageServer) handle(req *Request) *Response {
+	if req.Close {
+		s.mu.Lock()
+		delete(s.sessions, req.Session)
+		s.mu.Unlock()
+		return &Response{}
+	}
+	if req.Rows*req.Cols != len(req.Data) {
+		return &Response{Err: fmt.Sprintf("transport: payload %d for %dx%d", len(req.Data), req.Rows, req.Cols)}
+	}
+	s.mu.Lock()
+	cache, ok := s.sessions[req.Session]
+	if !ok {
+		cache = s.model.NewCache()
+		s.sessions[req.Session] = cache
+	}
+	s.mu.Unlock()
+	x := tensor.FromSlice(req.Rows, req.Cols, req.Data)
+	out, err := s.model.ForwardBlocks(s.lo, s.hi, x, cache, req.Offset)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{Rows: out.Rows, Cols: out.Cols, Data: out.Data}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *StageServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Driver is the master engine: it owns the embeddings and LM head and
+// drives a chain of remote stages.
+type Driver struct {
+	model *tinyllm.Model
+	conns []net.Conn
+	encs  []*gob.Encoder
+	decs  []*gob.Decoder
+	next  uint64
+}
+
+// NewDriver reconstructs the master model from (cfg, seed) and connects
+// to the stage servers in pipeline order.
+func NewDriver(cfg tinyllm.Config, seed uint64, stageAddrs []string) (*Driver, error) {
+	if len(stageAddrs) == 0 {
+		return nil, errors.New("transport: no stages")
+	}
+	m, err := tinyllm.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{model: m, next: 1}
+	for _, addr := range stageAddrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		d.conns = append(d.conns, conn)
+		d.encs = append(d.encs, gob.NewEncoder(conn))
+		d.decs = append(d.decs, gob.NewDecoder(conn))
+	}
+	return d, nil
+}
+
+// forward pushes hidden states through every stage.
+func (d *Driver) forward(session uint64, x *tensor.Matrix, offset int) (*tensor.Matrix, error) {
+	for i := range d.conns {
+		req := Request{Session: session, Offset: offset, Rows: x.Rows, Cols: x.Cols, Data: x.Data}
+		if err := d.encs[i].Encode(&req); err != nil {
+			return nil, fmt.Errorf("transport: stage %d send: %w", i, err)
+		}
+		var resp Response
+		if err := d.decs[i].Decode(&resp); err != nil {
+			return nil, fmt.Errorf("transport: stage %d recv: %w", i, err)
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("transport: stage %d: %s", i, resp.Err)
+		}
+		x = tensor.FromSlice(resp.Rows, resp.Cols, resp.Data)
+	}
+	return x, nil
+}
+
+// Generate runs prompt through the distributed pipeline and greedily
+// decodes n tokens, returning the generated token ids.
+func (d *Driver) Generate(prompt []int, n int) ([]int, error) {
+	if len(prompt) == 0 || n < 0 {
+		return nil, fmt.Errorf("transport: bad generate request (%d prompt tokens, n=%d)", len(prompt), n)
+	}
+	session := d.next
+	d.next++
+	defer d.closeSession(session)
+
+	x, err := d.model.Embed(prompt, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.forward(session, x, 0)
+	if err != nil {
+		return nil, err
+	}
+	logits := d.model.Logits(h)
+	out := make([]int, 0, n)
+	tok := tensor.ArgmaxRow(logits.Row(logits.Rows - 1))
+	pos := len(prompt)
+	for len(out) < n {
+		out = append(out, tok)
+		if pos >= d.model.Cfg.MaxPos {
+			break
+		}
+		x, err := d.model.Embed([]int{tok}, pos)
+		if err != nil {
+			return nil, err
+		}
+		h, err := d.forward(session, x, pos)
+		if err != nil {
+			return nil, err
+		}
+		tok = tensor.ArgmaxRow(d.model.Logits(h).Row(0))
+		pos++
+	}
+	return out, nil
+}
+
+// closeSession releases stage-side caches.
+func (d *Driver) closeSession(session uint64) {
+	for i := range d.conns {
+		if err := d.encs[i].Encode(&Request{Session: session, Close: true}); err != nil {
+			continue
+		}
+		var resp Response
+		_ = d.decs[i].Decode(&resp)
+	}
+}
+
+// Close tears down the stage connections.
+func (d *Driver) Close() {
+	for _, c := range d.conns {
+		c.Close()
+	}
+}
+
+// Reference generates the same tokens on a single in-process model, for
+// verifying distributed execution.
+func Reference(cfg tinyllm.Config, seed uint64, bits []int, prompt []int, n int) ([]int, error) {
+	m, err := tinyllm.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if bits != nil {
+		m, err = m.ApplyBits(bits, quant.Scheme{}, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	logits, cache, err := m.Prefill(prompt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n)
+	tok := tensor.ArgmaxRow(logits.Row(logits.Rows - 1))
+	pos := len(prompt)
+	for len(out) < n {
+		out = append(out, tok)
+		if pos >= cfg.MaxPos {
+			break
+		}
+		lg, err := m.DecodeStep(tok, cache)
+		if err != nil {
+			return nil, err
+		}
+		tok = tensor.ArgmaxRow(lg.Row(0))
+		pos++
+	}
+	return out, nil
+}
+
+// RandomPrompt draws a prompt of the given length for demos and tests.
+func RandomPrompt(rng *stats.RNG, vocab, length int) []int {
+	p := make([]int, length)
+	for i := range p {
+		p[i] = rng.Intn(vocab)
+	}
+	return p
+}

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/tinyllm"
+)
+
+var cfg = tinyllm.Config{Name: "dist-test", Layers: 6, Hidden: 32, Heads: 4, FFN: 96, Vocab: 96, MaxPos: 64}
+
+const seed = 2024
+
+// startPipeline launches stage servers over the given layer cut points
+// and returns their addresses plus a cleanup func.
+func startPipeline(t *testing.T, bits []int, cuts [][2]int) ([]string, func()) {
+	t.Helper()
+	var servers []*StageServer
+	var addrs []string
+	for _, c := range cuts {
+		s, err := NewStageServer(cfg, seed, bits, c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs = append(addrs, addr)
+	}
+	return addrs, func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+func TestDistributedMatchesReference(t *testing.T) {
+	addrs, cleanup := startPipeline(t, nil, [][2]int{{0, 2}, {2, 4}, {4, 6}})
+	defer cleanup()
+	d, err := NewDriver(cfg, seed, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	prompt := RandomPrompt(stats.NewRNG(5), cfg.Vocab, 12)
+	got, err := d.Generate(prompt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(cfg, seed, nil, prompt, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: distributed %d vs reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDistributedQuantizedMatchesReference(t *testing.T) {
+	bits := []int{4, 4, 8, 8, 16, 16}
+	addrs, cleanup := startPipeline(t, bits, [][2]int{{0, 3}, {3, 6}})
+	defer cleanup()
+	d, err := NewDriver(cfg, seed, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	prompt := RandomPrompt(stats.NewRNG(9), cfg.Vocab, 8)
+	got, err := d.Generate(prompt, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reference(cfg, seed, bits, prompt, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: distributed %d vs reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultipleSessionsIsolated(t *testing.T) {
+	addrs, cleanup := startPipeline(t, nil, [][2]int{{0, 6}})
+	defer cleanup()
+	d, err := NewDriver(cfg, seed, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	p1 := RandomPrompt(stats.NewRNG(1), cfg.Vocab, 10)
+	p2 := RandomPrompt(stats.NewRNG(2), cfg.Vocab, 10)
+	g1a, err := d.Generate(p1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Generate(p2, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running session 1's prompt must reproduce its tokens (fresh
+	// session, no cache pollution).
+	g1b, err := d.Generate(p1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1a {
+		if g1a[i] != g1b[i] {
+			t.Fatal("sessions interfered")
+		}
+	}
+}
+
+func TestStageServerValidation(t *testing.T) {
+	if _, err := NewStageServer(cfg, seed, nil, 4, 2); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := NewStageServer(cfg, seed, nil, 0, 99); err == nil {
+		t.Fatal("overlong range accepted")
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	if _, err := NewDriver(cfg, seed, nil); err == nil {
+		t.Fatal("no stages accepted")
+	}
+	if _, err := NewDriver(cfg, seed, []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("dead address accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	addrs, cleanup := startPipeline(t, nil, [][2]int{{0, 6}})
+	defer cleanup()
+	d, err := NewDriver(cfg, seed, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Generate(nil, 4); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+}
+
+func TestGenerationStopsAtMaxPos(t *testing.T) {
+	addrs, cleanup := startPipeline(t, nil, [][2]int{{0, 6}})
+	defer cleanup()
+	d, err := NewDriver(cfg, seed, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	prompt := RandomPrompt(stats.NewRNG(3), cfg.Vocab, 60)
+	out, err := d.Generate(prompt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prompt)+len(out) > cfg.MaxPos+1 {
+		t.Fatalf("generated past max positions: %d tokens", len(out))
+	}
+}

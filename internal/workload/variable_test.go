@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSynthesizeSetsReserveAboveMean(t *testing.T) {
+	// CNN output lengths vary; the KV reservation must cover the tail.
+	p := CNNDailyMail(stats.NewRNG(21), 2000)
+	b, err := Synthesize(p, 32, 2048, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ReserveTokens <= b.GenTokens {
+		t.Fatalf("reserve %d not above mean %d for a variable-output workload",
+			b.ReserveTokens, b.GenTokens)
+	}
+	if b.Reserve() != b.ReserveTokens {
+		t.Fatalf("Reserve() = %d, want %d", b.Reserve(), b.ReserveTokens)
+	}
+	if b.PaddedPrompt()+b.Reserve() > 4096 {
+		t.Fatalf("padded %d + reserve %d exceeds position budget", b.PaddedPrompt(), b.Reserve())
+	}
+}
+
+func TestReserveDefaultsToGen(t *testing.T) {
+	b := Batch{Size: 8, ChunkLen: 128, Chunks: 1, GenTokens: 32}
+	if b.Reserve() != 32 {
+		t.Fatalf("Reserve = %d", b.Reserve())
+	}
+	b.ReserveTokens = 16 // below mean: ignored
+	if b.Reserve() != 32 {
+		t.Fatalf("Reserve with low ReserveTokens = %d", b.Reserve())
+	}
+}
+
+func TestFixedWorkloadReserveEqualsGen(t *testing.T) {
+	// Constant output lengths: p95 == mean, no extra reservation.
+	p := Fixed(16, 256, 64)
+	b, err := Synthesize(p, 16, 2048, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reserve() != b.GenTokens {
+		t.Fatalf("constant-output reserve %d != gen %d", b.Reserve(), b.GenTokens)
+	}
+}

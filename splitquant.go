@@ -1,0 +1,275 @@
+// Package splitquant is the public API of the SplitQuant reproduction: a
+// phase-aware planner and simulated runtime for serving large language
+// models on heterogeneous GPU clusters with adaptive mixed-precision
+// quantization (CLUSTER 2025).
+//
+// A System couples a model architecture with a cluster description.
+// Plan produces a Deployment — per-layer quantization bitwidths, a
+// contiguous layer partition across devices, and micro-batch sizes —
+// whose throughput can be measured on the built-in discrete-event
+// pipeline simulator:
+//
+//	sys, _ := splitquant.New("opt-30b", splitquant.Preset(5))
+//	dep, _ := sys.Plan(splitquant.Summarization(1), 32)
+//	m, _ := dep.Measure()
+//	fmt.Println(dep, m.Throughput)
+//
+// The heavy lifting lives in the internal packages (planner, roofline
+// GPU simulator, LP/ILP solvers, tiny real-transformer quality backend);
+// this package exposes the workflow a downstream user needs.
+package splitquant
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// GPU identifies a supported accelerator class.
+type GPU string
+
+// Supported GPU classes.
+const (
+	T4   GPU = "T4-16G"
+	P100 GPU = "P100-12G"
+	V100 GPU = "V100-32G"
+	A100 GPU = "A100-40G"
+)
+
+// Node describes one machine: count identical GPUs joined by NVLink.
+type Node struct {
+	// Name identifies the node (unique within a cluster).
+	Name string
+	// GPU is the accelerator class on the node.
+	GPU GPU
+	// Count is the number of GPUs.
+	Count int
+	// SpeedScale and MemScale, when in (0, 1), derate the node's GPUs —
+	// co-located tenants, MIG slices, or throttling. Zero means full
+	// capability.
+	SpeedScale float64
+	MemScale   float64
+}
+
+// ClusterSpec describes a heterogeneous cluster.
+type ClusterSpec struct {
+	// Name labels the cluster.
+	Name string
+	// Nodes lists the member machines.
+	Nodes []Node
+	// InterconnectGbps is the node-to-node fabric speed in gigabits per
+	// second (e.g. 100 or 800); 0 defaults to 800.
+	InterconnectGbps float64
+}
+
+// Preset returns cluster n of the paper's Table III (1-10).
+func Preset(n int) ClusterSpec {
+	c, err := cluster.Preset(n)
+	if err != nil {
+		panic(err)
+	}
+	spec := ClusterSpec{Name: c.Name, InterconnectGbps: c.InterBW * 8 / 0.8 / 1e9}
+	for _, nd := range c.Nodes {
+		spec.Nodes = append(spec.Nodes, Node{Name: nd.Name, GPU: GPU(nd.Class), Count: nd.Count})
+	}
+	return spec
+}
+
+// build converts the spec to the internal representation.
+func (cs ClusterSpec) build() (*cluster.Cluster, error) {
+	gbps := cs.InterconnectGbps
+	if gbps == 0 {
+		gbps = 800
+	}
+	c := &cluster.Cluster{Name: cs.Name, InterBW: gbps * 1e9 / 8 * 0.8}
+	if c.Name == "" {
+		c.Name = "cluster"
+	}
+	for _, n := range cs.Nodes {
+		if _, err := gpu.Lookup(gpu.DeviceClass(n.GPU)); err != nil {
+			return nil, fmt.Errorf("splitquant: %w", err)
+		}
+		c.Nodes = append(c.Nodes, cluster.Node{
+			Name: n.Name, Class: gpu.DeviceClass(n.GPU), Count: n.Count, IntraBW: cluster.NVLinkBW,
+			SpeedScale: n.SpeedScale, MemScale: n.MemScale,
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("splitquant: %w", err)
+	}
+	return c, nil
+}
+
+// Models returns the names of the built-in model architectures.
+func Models() []string { return model.Names() }
+
+// Option customizes a System.
+type Option func(*options)
+
+type options struct {
+	bits       []int
+	theta      float64
+	bitKV      int
+	method     core.Method
+	timeLimit  time.Duration
+	group      int
+	qualityCap float64
+	orderings  int
+}
+
+// WithBits sets the candidate quantization bitwidths (default 3,4,8,16).
+func WithBits(bits ...int) Option { return func(o *options) { o.bits = bits } }
+
+// WithTheta sets the quality scalar θ balancing throughput against model
+// quality (default 10; larger favors quality).
+func WithTheta(theta float64) Option { return func(o *options) { o.theta = theta } }
+
+// WithKVBits sets the KV-cache bitwidth (default 16).
+func WithKVBits(bits int) Option { return func(o *options) { o.bitKV = bits } }
+
+// WithMethod selects the planning algorithm: "ilp" (default),
+// "heuristic", "adabits", "uniform", or "het".
+func WithMethod(method string) Option {
+	return func(o *options) { o.method = core.Method(method) }
+}
+
+// WithILPTimeLimit bounds each ILP solve (default 60s).
+func WithILPTimeLimit(d time.Duration) Option { return func(o *options) { o.timeLimit = d } }
+
+// WithGroupSize sets the ILP layer-grouping granularity (0 = auto).
+func WithGroupSize(g int) Option { return func(o *options) { o.group = g } }
+
+// WithQualityFloor constrains plans to at most the given indicated
+// quality degradation Σω (see Deployment.QualityPenalty).
+func WithQualityFloor(cap float64) Option { return func(o *options) { o.qualityCap = cap } }
+
+// WithOrderingLimit caps device-ordering enumeration (default 8).
+func WithOrderingLimit(n int) Option { return func(o *options) { o.orderings = n } }
+
+// System couples a model with a cluster and owns the planner state.
+type System struct {
+	spec *model.Spec
+	clu  *cluster.Cluster
+	ind  *core.Indicator
+	opts options
+}
+
+// New builds a System for the named model (see Models) on the cluster.
+func New(modelName string, cs ClusterSpec, opts ...Option) (*System, error) {
+	spec, err := model.Lookup(modelName)
+	if err != nil {
+		return nil, err
+	}
+	clu, err := cs.build()
+	if err != nil {
+		return nil, err
+	}
+	o := options{theta: 10, method: core.MethodHeuristic}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if len(o.bits) == 0 {
+		o.bits = []int{3, 4, 8, 16}
+	}
+	ind := core.ProfileIndicator(spec, o.bits, quant.Deterministic)
+	return &System{spec: spec, clu: clu, ind: ind, opts: o}, nil
+}
+
+// Model returns the architecture name served by the system.
+func (s *System) Model() string { return s.spec.Name }
+
+// Cluster returns a human-readable cluster composition.
+func (s *System) Cluster() string { return s.clu.String() }
+
+// Workload is a named offline request profile.
+type Workload struct {
+	profile *workload.Profile
+	// ChunkLen is the chunked-prefill granularity (default 2048).
+	ChunkLen int
+	// MaxPositions caps padded prompt + generation (default: model max).
+	MaxPositions int
+}
+
+// Summarization returns a CNN-DailyMail-shaped profile (long outputs).
+func Summarization(seed uint64) Workload {
+	return Workload{profile: workload.CNNDailyMail(stats.NewRNG(seed), 2000)}
+}
+
+// LongContext returns a LooGLE-shaped profile (very long prompts, short
+// outputs).
+func LongContext(seed uint64) Workload {
+	return Workload{profile: workload.LooGLE(stats.NewRNG(seed), 2000)}
+}
+
+// Chat returns a ShareGPT-shaped conversational profile.
+func Chat(seed uint64) Workload {
+	return Workload{profile: workload.ShareGPT(stats.NewRNG(seed), 2000)}
+}
+
+// FixedWorkload returns n identical requests (promptLen in, outputLen
+// out) — the DeepSpeed-style synthetic benchmark.
+func FixedWorkload(n, promptLen, outputLen int) Workload {
+	return Workload{profile: workload.Fixed(n, promptLen, outputLen)}
+}
+
+// Name returns the workload's profile name.
+func (w Workload) Name() string { return w.profile.Name }
+
+// Plan synthesizes a batch of batchSize concurrent requests from the
+// workload and jointly optimizes quantization bitwidths, layer
+// partitioning and micro-batch sizes for it.
+func (s *System) Plan(w Workload, batchSize int) (*Deployment, error) {
+	if w.profile == nil {
+		return nil, fmt.Errorf("splitquant: empty workload")
+	}
+	chunk := w.ChunkLen
+	if chunk == 0 {
+		chunk = 2048
+	}
+	maxPos := w.MaxPositions
+	if maxPos == 0 || maxPos > s.spec.MaxPos {
+		maxPos = s.spec.MaxPos
+	}
+	batch, err := workload.Synthesize(w.profile, batchSize, chunk, maxPos)
+	if err != nil {
+		return nil, err
+	}
+	return s.PlanBatch(batch)
+}
+
+// PlanBatch plans for an explicit batch shape (exposed for advanced
+// callers; most should use Plan).
+func (s *System) PlanBatch(batch workload.Batch) (*Deployment, error) {
+	opts := core.Options{
+		Bits:          s.opts.bits,
+		Theta:         s.opts.theta,
+		BitKV:         s.opts.bitKV,
+		Method:        s.opts.method,
+		TimeLimit:     s.opts.timeLimit,
+		GroupSize:     s.opts.group,
+		QualityCap:    s.opts.qualityCap,
+		OrderingLimit: s.opts.orderings,
+	}
+	a, err := core.New(s.spec, s.clu, s.ind, opts)
+	if err != nil {
+		return nil, err
+	}
+	p, rep, err := a.Plan(batch)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{sys: s, plan: p, batch: batch, report: rep}, nil
+}
+
+// QualityOf returns the indicated quality degradation Σω of a
+// deployment's bit assignment — the currency of WithQualityFloor.
+func (s *System) QualityOf(d *Deployment) float64 {
+	return s.ind.Total(d.plan.Bits())
+}
