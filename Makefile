@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full gate: static checks plus the whole suite under the race detector
+# (the planner runs a worker pool; -race keeps it honest).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -11,7 +11,10 @@ package splitquant_test
 // (quantization, matmul, simplex/ILP solves, end-to-end planning).
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	splitquant "repro"
 	"repro/internal/experiments"
@@ -27,7 +30,7 @@ func runExperiment(b *testing.B, id string, metricKeys ...string) {
 	b.Helper()
 	var last map[string]float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.ByID(id)
+		r, err := experiments.ByID(context.Background(), id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,6 +192,38 @@ func BenchmarkPlanHeuristicCluster5(b *testing.B) {
 		if _, err := sys.Plan(w, 32); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlanParallelSpeedup times the same plan sequentially
+// (WithParallelism(1)) and on all CPUs, and reports the wall-clock
+// speedup as the "speedup" metric.
+func BenchmarkPlanParallelSpeedup(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		b.Skip("needs >1 CPU")
+	}
+	w := splitquant.FixedWorkload(32, 512, 32)
+	planOnce := func(workers int) time.Duration {
+		sys, err := splitquant.New("opt-30b", splitquant.Preset(5),
+			splitquant.WithMethod(splitquant.MethodHeuristic), splitquant.WithTheta(1),
+			splitquant.WithParallelism(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := sys.Plan(w, 32); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var seq, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq += planOnce(1)
+		par += planOnce(0)
+	}
+	if par > 0 {
+		b.ReportMetric(float64(seq)/float64(par), "speedup")
 	}
 }
 

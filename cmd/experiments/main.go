@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -34,10 +36,15 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = experiments.IDs()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	failed := 0
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
-		r, err := experiments.ByID(id)
+		r, err := experiments.ByID(ctx, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed++

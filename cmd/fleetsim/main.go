@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -26,6 +28,9 @@ func main() {
 	months := flag.Int("months", 12, "trace window in months")
 	seed := flag.Uint64("seed", 1, "trace seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	trace, err := fleet.Generate(stats.NewRNG(*seed), fleet.DefaultShares, *months)
 	if err != nil {
@@ -63,7 +68,7 @@ func main() {
 		{ID: "synthetic-data", Model: "opt-13b", Batch: batch(32), Requests: 8192},
 		{ID: "doc-classify", Model: "opt-1.3b", Batch: batch(32), Requests: 16384},
 	}
-	sched, err := scheduler.Build(jobs, resources, scheduler.Options{
+	sched, err := scheduler.Build(ctx, jobs, resources, scheduler.Options{
 		Planner: core.Options{Method: core.MethodHeuristic, Theta: 1, OrderingLimit: 4},
 	})
 	if err != nil {

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -35,6 +37,8 @@ func main() {
 		theta     = flag.Float64("theta", 10, "quality scalar θ (larger = favor quality)")
 		qcap      = flag.Float64("quality-floor", 0, "max allowed quality penalty Σω (0 = unconstrained)")
 		seed      = flag.Uint64("seed", 1, "workload sampling seed")
+		parallel  = flag.Int("parallel", 0, "planner worker goroutines (0 = all CPUs, 1 = sequential)")
+		progress  = flag.Bool("progress", false, "print live planning progress to stderr")
 		asJSON    = flag.Bool("json", false, "emit the plan as JSON")
 		list      = flag.Bool("models", false, "list model architectures and exit")
 	)
@@ -44,16 +48,25 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels planning; an incumbent plan found before the signal
+	// is still printed (marked "cancelled").
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cs, err := clusterSpec(*nodes, *clusterN, *gbps)
 	if err != nil {
 		fatal(err)
 	}
 	opts := []splitquant.Option{
-		splitquant.WithMethod(*method),
+		splitquant.WithMethod(splitquant.Method(*method)),
 		splitquant.WithTheta(*theta),
+		splitquant.WithParallelism(*parallel),
 	}
 	if *qcap > 0 {
 		opts = append(opts, splitquant.WithQualityFloor(*qcap))
+	}
+	if *progress {
+		opts = append(opts, splitquant.WithProgress(printProgress))
 	}
 	sys, err := splitquant.New(*modelName, cs, opts...)
 	if err != nil {
@@ -74,9 +87,12 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q", *wk))
 	}
 
-	dep, err := sys.Plan(w, *batch)
+	dep, err := sys.PlanContext(ctx, w, *batch)
 	if err != nil {
 		fatal(err)
+	}
+	if *progress {
+		fmt.Fprintln(os.Stderr)
 	}
 	if *asJSON {
 		if err := dep.WriteJSON(os.Stdout); err != nil {
@@ -84,9 +100,15 @@ func main() {
 		}
 		return
 	}
+	st := dep.Stats()
 	fmt.Printf("model:    %s\ncluster:  %s\nworkload: %s (B=%d)\n", sys.Model(), sys.Cluster(), w.Name(), *batch)
 	fmt.Printf("plan:     %s\n", dep)
-	fmt.Printf("quality:  Σω = %.4f   planning: %.2fs\n", dep.QualityPenalty(), dep.PlanningSeconds())
+	note := ""
+	if st.Cancelled {
+		note = "   (cancelled: best incumbent)"
+	}
+	fmt.Printf("quality:  Σω = %.4f   planning: %.2fs over %d configs%s\n",
+		dep.QualityPenalty(), dep.PlanningSeconds(), st.Configs, note)
 	m, err := dep.Measure()
 	if err != nil {
 		fatal(fmt.Errorf("simulation: %w", err))
@@ -97,6 +119,16 @@ func main() {
 		fmt.Printf("  stage %d: %-22s layers %d-%d  mem %.1f GiB\n",
 			i, st.Device, st.FirstLayer, st.FirstLayer+st.LayerCount-1, m.StageMemoryGiB[i])
 	}
+}
+
+// printProgress renders one planning progress event as a carriage-return
+// status line on stderr.
+func printProgress(p splitquant.PlanProgress) {
+	best := "-"
+	if p.BestObjective < 1e30 {
+		best = fmt.Sprintf("%.3f", p.BestObjective)
+	}
+	fmt.Fprintf(os.Stderr, "\r%s %d/%d configs, best objective %s   ", p.Phase, p.Done, p.Total, best)
 }
 
 // clusterSpec parses -nodes or falls back to a preset.

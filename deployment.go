@@ -65,6 +65,44 @@ func (d *Deployment) QualityPenalty() float64 { return d.plan.QualityPenalty }
 // PlanningSeconds returns the planner wall-clock time.
 func (d *Deployment) PlanningSeconds() float64 { return d.plan.SolveSeconds }
 
+// PlanStats summarizes the solver work behind a deployment.
+type PlanStats struct {
+	// Configs is the number of candidate configurations evaluated.
+	Configs int
+	// ILPSolves and Nodes count branch-and-bound work.
+	ILPSolves int
+	Nodes     int
+	// SolveSeconds is total planning wall-clock time.
+	SolveSeconds float64
+	// Proved reports whether the winning configuration's ILP proved
+	// optimality.
+	Proved bool
+	// Cancelled reports that planning was cut short by context
+	// cancellation and the deployment is the best incumbent found, not
+	// the full search result.
+	Cancelled bool
+	// ConfigStats holds per-configuration solver statistics in canonical
+	// enumeration order.
+	ConfigStats []ConfigStat
+}
+
+// Stats returns the solver statistics of the planning run that produced
+// this deployment.
+func (d *Deployment) Stats() PlanStats {
+	st := PlanStats{
+		Configs:      d.report.Configs,
+		ILPSolves:    d.report.ILPSolves,
+		Nodes:        d.report.Nodes,
+		SolveSeconds: d.report.SolveSeconds,
+		Proved:       d.report.Proved,
+		Cancelled:    d.report.Cancelled,
+	}
+	for _, c := range d.report.ConfigStats {
+		st.ConfigStats = append(st.ConfigStats, ConfigStat(c))
+	}
+	return st
+}
+
 // Method returns the algorithm that produced the plan.
 func (d *Deployment) Method() string { return d.plan.Method }
 

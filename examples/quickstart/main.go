@@ -19,7 +19,9 @@ func main() {
 	// 512-token prompts, 32 generated tokens each.
 	work := splitquant.FixedWorkload(32, 512, 32)
 
-	for _, method := range []string{"uniform", "het", "heuristic"} {
+	for _, method := range []splitquant.Method{
+		splitquant.MethodUniform, splitquant.MethodHet, splitquant.MethodHeuristic,
+	} {
 		sys, err := splitquant.New("opt-30b", cluster,
 			splitquant.WithMethod(method),
 			splitquant.WithTheta(1),

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/ilp"
 	"repro/internal/model"
 	"repro/internal/plan"
 	"repro/internal/workload"
@@ -64,6 +66,17 @@ type Options struct {
 	// ablation D1 of DESIGN.md, modeling prior encoder-oriented
 	// partitioners.
 	PrefillOnlyObjective bool
+	// Parallelism bounds the worker pool that fans the independent
+	// (mesh, ordering, η, ξ) candidate solves across CPUs: 0 means one
+	// worker per available CPU (runtime.GOMAXPROCS), 1 forces a
+	// sequential search. The merged result is bit-identical at every
+	// setting — candidates are ranked by (objective, canonical
+	// enumeration order) regardless of completion order.
+	Parallelism int
+	// Progress, when non-nil, receives one event per finished
+	// configuration (and per ILP polish solve). Calls are serialized;
+	// the hook must be fast and must not call back into the planner.
+	Progress func(Progress)
 }
 
 // withDefaults fills unset options.
@@ -108,6 +121,15 @@ type Report struct {
 	// Proved reports whether the final ILP proved optimality for its
 	// configuration.
 	Proved bool
+	// Cancelled reports that the context was cancelled (or its deadline
+	// exceeded) mid-plan and the returned plan is the best incumbent
+	// found so far, not the full search result.
+	Cancelled bool
+	// ConfigStats holds per-configuration solver statistics in canonical
+	// enumeration order (search sweep first, then one entry per ILP
+	// polish solve). Entries for configurations skipped due to
+	// cancellation are absent.
+	ConfigStats []ConfigStat
 }
 
 // Assigner is SplitQuant's offline planner.
@@ -119,9 +141,14 @@ type Assigner struct {
 }
 
 // New builds an assigner. The indicator must cover exactly the model's
-// layers and the option bit set.
+// layers and the option bit set. The method is validated here, so an
+// unknown Options.Method fails fast instead of silently planning with a
+// fallback algorithm.
 func New(spec *model.Spec, clu *cluster.Cluster, ind *Indicator, opts Options) (*Assigner, error) {
 	opts = opts.withDefaults()
+	if !ValidMethod(opts.Method) {
+		return nil, fmt.Errorf("core: %w %q (valid: %v)", ErrUnknownMethod, opts.Method, validMethods)
+	}
 	if err := clu.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,33 +198,29 @@ func (a *Assigner) groupSizeFor() int {
 
 // candidate couples a configuration with its heuristic solution.
 type candidate struct {
-	oc *orderingCosts
-	as *assignment
-	ev evaluation
+	oc  *orderingCosts
+	as  *assignment
+	ev  evaluation
+	key string
 }
 
-// Plan computes a deployment plan for one synthesized batch.
-func (a *Assigner) Plan(batch workload.Batch) (*plan.Plan, *Report, error) {
-	start := time.Now()
-	if err := batch.Validate(); err != nil {
-		return nil, nil, err
-	}
-	rep := &Report{}
-	theta := a.opts.Theta
+// planConfig is one (ordering, η, ξ) combination in canonical
+// enumeration order. The enumeration index doubles as the deterministic
+// tie-break: candidates with equal objectives are ranked by it, which
+// reproduces exactly the stable ordering of a sequential scan.
+type planConfig struct {
+	devs    []cluster.Device
+	eta, xi int
+}
 
-	switch a.opts.Method {
-	case MethodUniform:
-		p, err := a.baselinePlan(batch, rep, uniform, string(MethodUniform))
-		rep.SolveSeconds = time.Since(start).Seconds()
-		return p, rep, err
-	case MethodHet:
-		p, err := a.baselinePlan(batch, rep, het, string(MethodHet))
-		rep.SolveSeconds = time.Since(start).Seconds()
-		return p, rep, err
-	}
+// key renders the canonical configuration key.
+func (c planConfig) key() string { return configKey(c.devs, c.eta, c.xi) }
 
-	mbs := a.candidateMicroBatches(batch.Size)
-	var cands []candidate
+// searchConfigs enumerates the full candidate space for the joint
+// methods (ILP / heuristic / adabits) in canonical order.
+func (a *Assigner) searchConfigs(B int) []planConfig {
+	mbs := a.candidateMicroBatches(B)
+	var out []planConfig
 	for _, mesh := range a.clu.Meshes() {
 		if len(mesh) > a.spec.Layers {
 			continue // more stages than layers
@@ -208,49 +231,147 @@ func (a *Assigner) Plan(batch workload.Batch) (*plan.Plan, *Report, error) {
 		for _, devs := range cluster.Orderings(mesh, a.opts.OrderingLimit) {
 			for _, eta := range mbs {
 				for _, xi := range mbs {
-					rep.Configs++
-					oc := buildCosts(a.spec, a.clu, devs, a.opts.Bits, batch, eta, xi, a.opts.BitKV)
-					if a.opts.PrefillOnlyObjective {
-						for j := range oc.dec {
-							for bi := range oc.dec[j] {
-								oc.dec[j][bi] = 0
-							}
-							oc.commDec[j] = 0
-						}
-						oc.aDec = 0
-					}
-					as := a.bestStart(oc, theta)
-					if as == nil {
-						continue // configuration cannot fit the model
-					}
-					ev := evaluate(as, oc, a.ind, theta)
-					if !ev.Feasible {
-						continue
-					}
-					if a.opts.QualityCap > 0 && ev.Quality > a.opts.QualityCap+1e-9 {
-						continue
-					}
-					cands = append(cands, candidate{oc: oc, as: as, ev: ev})
+					out = append(out, planConfig{devs: devs, eta: eta, xi: xi})
 				}
 			}
 		}
 	}
-	if len(cands) == 0 {
-		return nil, rep, fmt.Errorf("core: no feasible configuration for %s on %s (B=%d)",
-			a.spec.Name, a.clu.Name, batch.Size)
+	return out
+}
+
+// buildConfigCosts assembles (and for the D1 ablation, masks) the cost
+// tables of one candidate configuration.
+func (a *Assigner) buildConfigCosts(cfg planConfig, batch workload.Batch) *orderingCosts {
+	oc := buildCosts(a.spec, a.clu, cfg.devs, a.opts.Bits, batch, cfg.eta, cfg.xi, a.opts.BitKV)
+	if a.opts.PrefillOnlyObjective {
+		for j := range oc.dec {
+			for bi := range oc.dec[j] {
+				oc.dec[j][bi] = 0
+			}
+			oc.commDec[j] = 0
+		}
+		oc.aDec = 0
 	}
-	// Shortlist by heuristic objective.
+	return oc
+}
+
+// Plan computes a deployment plan for one synthesized batch. The
+// independent candidate configurations are solved on a bounded worker
+// pool (Options.Parallelism) and merged deterministically, so the plan
+// is bit-identical to a sequential run.
+//
+// Cancelling ctx (or exceeding its deadline) stops all in-flight solves
+// promptly. When at least one feasible candidate has already been found
+// the best incumbent is returned with Report.Cancelled set — the same
+// graceful degradation as the ILP TimeLimit; otherwise Plan returns
+// ctx.Err().
+func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	if err := batch.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{}
+	theta := a.opts.Theta
+	sink := newProgressSink(a.opts.Progress, math.Inf(1))
+
+	switch a.opts.Method {
+	case MethodUniform:
+		p, err := a.baselinePlan(ctx, batch, rep, sink, uniform, string(MethodUniform))
+		rep.Cancelled = ctx.Err() != nil
+		rep.SolveSeconds = time.Since(start).Seconds()
+		return p, rep, err
+	case MethodHet:
+		p, err := a.baselinePlan(ctx, batch, rep, sink, het, string(MethodHet))
+		rep.Cancelled = ctx.Err() != nil
+		rep.SolveSeconds = time.Since(start).Seconds()
+		return p, rep, err
+	}
+
+	// Phase 1: heuristic sweep over every candidate configuration.
+	configs := a.searchConfigs(batch.Size)
+	type searchResult struct {
+		done bool
+		cand *candidate
+		stat ConfigStat
+	}
+	results := make([]searchResult, len(configs))
+	sink.startPhase(PhaseSearch, len(configs))
+	runPool(ctx, a.parallelism(), len(configs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		t0 := time.Now()
+		cfg := configs[i]
+		stat := ConfigStat{Key: cfg.key(), Objective: math.Inf(1)}
+		oc := a.buildConfigCosts(cfg, batch)
+		var cand *candidate
+		if as := a.bestStart(oc, theta); as != nil {
+			ev := evaluate(as, oc, a.ind, theta)
+			if ev.Feasible && !(a.opts.QualityCap > 0 && ev.Quality > a.opts.QualityCap+1e-9) {
+				cand = &candidate{oc: oc, as: as, ev: ev, key: stat.Key}
+				stat.Feasible = true
+				stat.Objective = ev.Objective
+			}
+		}
+		stat.Seconds = time.Since(t0).Seconds()
+		results[i] = searchResult{done: true, cand: cand, stat: stat}
+		sink.finished(stat)
+	})
+
+	// Deterministic merge in canonical enumeration order: identical to
+	// the sequential append order regardless of completion order.
+	var cands []candidate
+	for i := range results {
+		if !results[i].done {
+			continue // skipped by cancellation
+		}
+		rep.Configs++
+		rep.ConfigStats = append(rep.ConfigStats, results[i].stat)
+		if results[i].cand != nil {
+			cands = append(cands, *results[i].cand)
+		}
+	}
+	if len(cands) == 0 {
+		rep.SolveSeconds = time.Since(start).Seconds()
+		if err := ctx.Err(); err != nil {
+			rep.Cancelled = true
+			return nil, rep, err
+		}
+		return nil, rep, fmt.Errorf("core: no feasible configuration for %s on %s (B=%d): %w",
+			a.spec.Name, a.clu.Name, batch.Size, ErrInfeasible)
+	}
+	// Shortlist by heuristic objective (stable: ties keep enumeration
+	// order — the canonical tie-break).
 	sortCandidates(cands)
 	best := cands[0]
 	method := string(a.opts.Method)
 
-	if a.opts.Method == MethodILP {
+	// Phase 2: ILP polish of the shortlist, also fanned across the pool.
+	// The merge below replays the sequential accept-if-better scan in
+	// shortlist order, so the winning candidate (and Report.Proved) match
+	// a sequential run exactly.
+	if a.opts.Method == MethodILP && ctx.Err() == nil {
 		limit := a.opts.ILPCandidates
 		if limit > len(cands) {
 			limit = len(cands)
 		}
-		for c := 0; c < limit; c++ {
-			oc := cands[c].oc
+		type polishResult struct {
+			done bool
+			as   *assignment
+			sol  *ilp.Solution
+			err  error
+			stat ConfigStat
+		}
+		polished := make([]polishResult, limit)
+		sink.startPhase(PhasePolish, limit)
+		runPool(ctx, a.parallelism(), limit, func(c int) {
+			if ctx.Err() != nil {
+				return
+			}
+			t0 := time.Now()
 			cfg := ilpConfig{
 				GroupSize:  a.groupSizeFor(),
 				TimeLimit:  a.opts.TimeLimit,
@@ -258,24 +379,47 @@ func (a *Assigner) Plan(batch workload.Batch) (*plan.Plan, *Report, error) {
 				QualityCap: a.opts.QualityCap,
 				WarmStart:  cands[c].as,
 			}
-			as, sol, err := solveILP(oc, a.ind, theta, cfg)
-			if err != nil {
-				return nil, rep, err
+			as, sol, err := solveILP(ctx, cands[c].oc, a.ind, theta, cfg)
+			stat := ConfigStat{Key: cands[c].key, ILPSolves: 1, Objective: math.Inf(1)}
+			if sol != nil {
+				stat.Nodes = sol.Nodes
+			}
+			if err == nil && as != nil {
+				if ev := evaluate(as, cands[c].oc, a.ind, theta); ev.Feasible {
+					stat.Feasible = true
+					stat.Objective = ev.Objective
+				}
+			}
+			stat.Seconds = time.Since(t0).Seconds()
+			polished[c] = polishResult{done: true, as: as, sol: sol, err: err, stat: stat}
+			sink.finished(stat)
+		})
+		for c := 0; c < limit; c++ {
+			if !polished[c].done {
+				continue
+			}
+			if polished[c].err != nil {
+				rep.SolveSeconds = time.Since(start).Seconds()
+				return nil, rep, polished[c].err
 			}
 			rep.ILPSolves++
+			rep.ConfigStats = append(rep.ConfigStats, polished[c].stat)
+			sol := polished[c].sol
 			if sol != nil {
 				rep.Nodes += sol.Nodes
 			}
+			as := polished[c].as
 			if as == nil {
 				continue
 			}
-			ev := evaluate(as, oc, a.ind, theta)
+			ev := evaluate(as, cands[c].oc, a.ind, theta)
 			if ev.Feasible && ev.Objective < best.ev.Objective-1e-12 {
-				best = candidate{oc: oc, as: as, ev: ev}
+				best = candidate{oc: cands[c].oc, as: as, ev: ev, key: cands[c].key}
 				rep.Proved = sol != nil && sol.Proved
 			}
 		}
 	}
+	rep.Cancelled = ctx.Err() != nil
 
 	p, err := toPlan(best.as, best.oc, a.ind, theta, method, a.opts.BitKV)
 	if err != nil {
@@ -341,17 +485,12 @@ func (a *Assigner) bestStart(oc *orderingCosts, theta float64) *assignment {
 	return best
 }
 
-// baselinePlan runs a baseline builder across orderings and micro-batch
-// candidates and returns the best feasible plan.
-func (a *Assigner) baselinePlan(batch workload.Batch, rep *Report,
-	build func(*orderingCosts, *Indicator) (*assignment, error), method string) (*plan.Plan, error) {
-
-	// Baselines do not co-tune micro-batch sizes (that is part of
-	// SplitQuant's contribution); they run the standard engine default
-	// of one micro-batch per pipeline stage (ξ = B / #stages), unless
-	// the user supplied candidates explicitly.
-	bestObj := math.Inf(1)
-	var bestPlan *plan.Plan
+// baselineConfigs enumerates the baseline candidate space in canonical
+// order. Baselines do not co-tune micro-batch sizes (that is part of
+// SplitQuant's contribution); they run the standard engine default of
+// one micro-batch per pipeline stage (ξ = B / #stages), unless the user
+// supplied candidates explicitly.
+func (a *Assigner) baselineConfigs(batch workload.Batch, method string) []planConfig {
 	meshes := a.clu.Meshes()
 	if method == string(MethodUniform) && a.opts.MeshFilter == nil {
 		// Uniform is the engine default: pure pipeline parallelism over
@@ -359,6 +498,7 @@ func (a *Assigner) baselinePlan(batch workload.Batch, rep *Report,
 		// are requested via MeshFilter.
 		meshes = [][]cluster.Device{a.clu.Devices()}
 	}
+	var out []planConfig
 	for _, mesh := range meshes {
 		if len(mesh) > a.spec.Layers {
 			continue
@@ -381,29 +521,73 @@ func (a *Assigner) baselinePlan(batch workload.Batch, rep *Report,
 			}
 			for _, eta := range mbs {
 				for _, xi := range mbs {
-					rep.Configs++
-					oc := buildCosts(a.spec, a.clu, devs, a.opts.Bits, batch, eta, xi, a.opts.BitKV)
-					as, err := build(oc, a.ind)
-					if err != nil {
-						continue
-					}
-					ev := evaluate(as, oc, a.ind, 0) // baselines ignore θ
-					if !ev.Feasible || ev.Latency >= bestObj {
-						continue
-					}
-					p, err := toPlan(as, oc, a.ind, 0, method, a.opts.BitKV)
-					if err != nil {
-						continue
-					}
-					p.Model = a.spec.Name
-					bestObj = ev.Latency
-					bestPlan = p
+					out = append(out, planConfig{devs: devs, eta: eta, xi: xi})
 				}
 			}
 		}
 	}
+	return out
+}
+
+// baselinePlan runs a baseline builder across orderings and micro-batch
+// candidates on the worker pool and returns the best feasible plan.
+// Candidates are merged by (latency, enumeration index), reproducing the
+// sequential first-strictly-better-wins scan exactly.
+func (a *Assigner) baselinePlan(ctx context.Context, batch workload.Batch, rep *Report, sink *progressSink,
+	build func(*orderingCosts, *Indicator) (*assignment, error), method string) (*plan.Plan, error) {
+
+	configs := a.baselineConfigs(batch, method)
+	type baseResult struct {
+		done bool
+		p    *plan.Plan
+		lat  float64
+		stat ConfigStat
+	}
+	results := make([]baseResult, len(configs))
+	sink.startPhase(PhaseSearch, len(configs))
+	runPool(ctx, a.parallelism(), len(configs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		t0 := time.Now()
+		cfg := configs[i]
+		r := baseResult{done: true, lat: math.Inf(1), stat: ConfigStat{Key: cfg.key(), Objective: math.Inf(1)}}
+		oc := buildCosts(a.spec, a.clu, cfg.devs, a.opts.Bits, batch, cfg.eta, cfg.xi, a.opts.BitKV)
+		if as, err := build(oc, a.ind); err == nil {
+			ev := evaluate(as, oc, a.ind, 0) // baselines ignore θ
+			if ev.Feasible {
+				if p, err := toPlan(as, oc, a.ind, 0, method, a.opts.BitKV); err == nil {
+					p.Model = a.spec.Name
+					r.p, r.lat = p, ev.Latency
+					r.stat.Feasible = true
+					r.stat.Objective = ev.Latency
+				}
+			}
+		}
+		r.stat.Seconds = time.Since(t0).Seconds()
+		results[i] = r
+		sink.finished(r.stat)
+	})
+
+	bestObj := math.Inf(1)
+	var bestPlan *plan.Plan
+	for i := range results {
+		if !results[i].done {
+			continue
+		}
+		rep.Configs++
+		rep.ConfigStats = append(rep.ConfigStats, results[i].stat)
+		if results[i].p != nil && results[i].lat < bestObj {
+			bestObj = results[i].lat
+			bestPlan = results[i].p
+		}
+	}
 	if bestPlan == nil {
-		return nil, fmt.Errorf("core: %s baseline infeasible for %s on %s (OOM)", method, a.spec.Name, a.clu.Name)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: %s baseline infeasible for %s on %s (OOM): %w",
+			method, a.spec.Name, a.clu.Name, ErrInfeasible)
 	}
 	return bestPlan, nil
 }

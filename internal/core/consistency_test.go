@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -14,7 +15,7 @@ func TestPlannerDeterministic(t *testing.T) {
 	// Identical inputs must produce bit-identical plans.
 	run := func() string {
 		a := mustAssigner(t, model.OPT30B, cluster.MustPreset(5), Options{Method: MethodHeuristic, Theta: 1})
-		p, _, err := a.Plan(smallBatch)
+		p, _, err := a.Plan(context.Background(), smallBatch)
 		if err != nil {
 			t.Fatal(err)
 		}

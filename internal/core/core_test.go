@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -80,7 +81,7 @@ func TestIndicatorTotal(t *testing.T) {
 func TestUniformBaselineFP16WhenItFits(t *testing.T) {
 	// Cluster 9 (4×V100) fits OPT-13B in FP16 easily: Uniform must stay FP16.
 	a := mustAssigner(t, model.OPT13B, cluster.MustPreset(9), Options{Method: MethodUniform})
-	p, _, err := a.Plan(smallBatch)
+	p, _, err := a.Plan(context.Background(), smallBatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestUniformBaselineLowersPrecisionUnderPressure(t *testing.T) {
 	// OPT-30B on 4×T4 does not fit FP16; Uniform must lower the bitwidth
 	// uniformly.
 	a := mustAssigner(t, model.OPT30B, cluster.MustPreset(8), Options{Method: MethodUniform})
-	p, _, err := a.Plan(smallBatch)
+	p, _, err := a.Plan(context.Background(), smallBatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestUniformOOMReported(t *testing.T) {
 	// Llama-70B on a single V100-32G cannot fit at any bitwidth with KV
 	// for 32 requests.
 	a := mustAssigner(t, model.Llama70B, cluster.MustPreset(1), Options{Method: MethodUniform})
-	_, _, err := a.Plan(smallBatch)
+	_, _, err := a.Plan(context.Background(), smallBatch)
 	if err == nil {
 		t.Fatal("expected OOM-style failure")
 	}
@@ -128,7 +129,7 @@ func TestHetBalancesStageTimes(t *testing.T) {
 	// On cluster 6 (3×P100 + V100), Het must give the V100 more layers
 	// than each P100.
 	a := mustAssigner(t, model.OPT13B, cluster.MustPreset(6), Options{Method: MethodHet})
-	p, _, err := a.Plan(workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 16})
+	p, _, err := a.Plan(context.Background(), workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,12 +152,12 @@ func TestHeuristicBeatsUniformOnHeterogeneousCluster(t *testing.T) {
 	batch := smallBatch
 
 	uni := mustAssigner(t, spec, clu, Options{Method: MethodUniform})
-	uniPlan, _, err := uni.Plan(batch)
+	uniPlan, _, err := uni.Plan(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sq := mustAssigner(t, spec, clu, Options{Method: MethodHeuristic, Theta: 1})
-	sqPlan, rep, err := sq.Plan(batch)
+	sqPlan, rep, err := sq.Plan(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,14 +184,14 @@ func TestILPPolishNotWorseThanHeuristic(t *testing.T) {
 	batch := workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 16}
 
 	h := mustAssigner(t, spec, clu, Options{Method: MethodHeuristic, Theta: 1})
-	hPlan, _, err := h.Plan(batch)
+	hPlan, _, err := h.Plan(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	i := mustAssigner(t, spec, clu, Options{
 		Method: MethodILP, Theta: 1, TimeLimit: 10 * time.Second, MaxNodes: 100, ILPCandidates: 1,
 	})
-	iPlan, rep, err := i.Plan(batch)
+	iPlan, rep, err := i.Plan(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,12 +210,12 @@ func TestAdabitsIgnoresLatency(t *testing.T) {
 	clu := cluster.MustPreset(6)
 	batch := workload.Batch{Size: 8, ChunkLen: 256, Chunks: 1, GenTokens: 16}
 	ad := mustAssigner(t, spec, clu, Options{Method: MethodAdabits, Theta: 1})
-	adPlan, _, err := ad.Plan(batch)
+	adPlan, _, err := ad.Plan(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hq := mustAssigner(t, spec, clu, Options{Method: MethodHeuristic, Theta: 1})
-	hqPlan, _, err := hq.Plan(batch)
+	hqPlan, _, err := hq.Plan(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestQualityCapRespected(t *testing.T) {
 	clu := cluster.MustPreset(5)
 	cap := 0.5
 	a := mustAssigner(t, spec, clu, Options{Method: MethodHeuristic, Theta: 0.1, QualityCap: cap})
-	p, _, err := a.Plan(smallBatch)
+	p, _, err := a.Plan(context.Background(), smallBatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestThetaTradeoff(t *testing.T) {
 	var prevQuality = 1e18
 	for _, theta := range []float64{0.1, 10, 1000} {
 		a := mustAssigner(t, spec, clu, Options{Method: MethodHeuristic, Theta: theta})
-		p, _, err := a.Plan(batch)
+		p, _, err := a.Plan(context.Background(), batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -272,7 +273,7 @@ func TestPlansValidateAndSimulate(t *testing.T) {
 		clu := cluster.MustPreset(cn)
 		spec := model.OPT13B
 		a := mustAssigner(t, spec, clu, Options{Method: MethodHeuristic, Theta: 1})
-		p, _, err := a.Plan(workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 16})
+		p, _, err := a.Plan(context.Background(), workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 16})
 		if err != nil {
 			t.Fatalf("cluster %d: %v", cn, err)
 		}
@@ -290,7 +291,7 @@ func TestMixedPrecisionEmergesUnderMemoryPressure(t *testing.T) {
 	// speed asymmetry forces SplitQuant into a plan using more than one
 	// bitwidth — the core claim.
 	a := mustAssigner(t, model.OPT30B, cluster.MustPreset(6), Options{Method: MethodHeuristic, Theta: 1})
-	p, _, err := a.Plan(smallBatch)
+	p, _, err := a.Plan(context.Background(), smallBatch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestGroupingReducesILPWork(t *testing.T) {
 			Method: MethodILP, Theta: 1, GroupSize: gs,
 			TimeLimit: 5 * time.Second, MaxNodes: 60, ILPCandidates: 1,
 		})
-		p, rep, err := a.Plan(batch)
+		p, rep, err := a.Plan(context.Background(), batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -366,14 +367,14 @@ func TestNewValidation(t *testing.T) {
 
 func TestPlanErrorOnBadBatch(t *testing.T) {
 	a := mustAssigner(t, model.OPT13B, cluster.MustPreset(9), Options{Method: MethodHeuristic})
-	if _, _, err := a.Plan(workload.Batch{}); err == nil {
+	if _, _, err := a.Plan(context.Background(), workload.Batch{}); err == nil {
 		t.Fatal("invalid batch accepted")
 	}
 }
 
 func TestInfeasibleClusterReportsError(t *testing.T) {
 	a := mustAssigner(t, model.Llama70B, cluster.MustPreset(1), Options{Method: MethodHeuristic})
-	_, _, err := a.Plan(smallBatch)
+	_, _, err := a.Plan(context.Background(), smallBatch)
 	if err == nil {
 		t.Fatal("expected infeasibility error")
 	}

@@ -1,0 +1,29 @@
+package core
+
+import "errors"
+
+// Sentinel errors, exposed so callers (and the public splitquant facade)
+// can classify failures with errors.Is instead of string matching. They
+// are always returned wrapped with context via %w.
+var (
+	// ErrInfeasible means no configuration of the cluster can hold the
+	// model for the requested batch — every candidate (mesh, ordering,
+	// η, ξ) combination runs out of device memory at every bitwidth.
+	ErrInfeasible = errors.New("infeasible")
+
+	// ErrUnknownMethod means Options.Method names no planning algorithm.
+	ErrUnknownMethod = errors.New("unknown planning method")
+)
+
+// validMethods lists the accepted Options.Method values.
+var validMethods = []Method{MethodILP, MethodHeuristic, MethodAdabits, MethodUniform, MethodHet}
+
+// ValidMethod reports whether m names a planning algorithm.
+func ValidMethod(m Method) bool {
+	for _, v := range validMethods {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}

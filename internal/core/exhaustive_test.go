@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -83,7 +84,7 @@ func TestILPMatchesBruteForce(t *testing.T) {
 		if wantAs == nil {
 			t.Fatal("brute force found nothing feasible")
 		}
-		as, sol, err := solveILP(oc, ind, theta, ilpConfig{
+		as, sol, err := solveILP(context.Background(), oc, ind, theta, ilpConfig{
 			GroupSize: 1, TimeLimit: 30 * time.Second, MaxNodes: 5000,
 		})
 		if err != nil {

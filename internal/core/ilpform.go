@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,7 +44,8 @@ func groupBounds(layers, groupSize int) [][2]int {
 // solveILP builds and solves the Eq. 4-16 integer program over grouped
 // layers for one (ordering, η, ξ) configuration. It returns the best
 // assignment found, whether optimality was proved, and the node count.
-func solveILP(oc *orderingCosts, ind *Indicator, theta float64, cfg ilpConfig) (*assignment, *ilp.Solution, error) {
+// A done ctx stops the branch and bound early, yielding the incumbent.
+func solveILP(ctx context.Context, oc *orderingCosts, ind *Indicator, theta float64, cfg ilpConfig) (*assignment, *ilp.Solution, error) {
 	layers := ind.Layers()
 	groups := groupBounds(layers, cfg.GroupSize)
 	G := len(groups)
@@ -193,7 +195,7 @@ func solveILP(oc *orderingCosts, ind *Indicator, theta float64, cfg ilpConfig) (
 			opts.WarmStart = ws
 		}
 	}
-	sol, err := ilp.Solve(&ilp.Problem{LP: prob, Binary: binary}, opts)
+	sol, err := ilp.SolveContext(ctx, &ilp.Problem{LP: prob, Binary: binary}, opts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// parallelism resolves the effective worker count: Options.Parallelism
+// when positive, else one worker per available CPU.
+func (a *Assigner) parallelism() int {
+	if a.opts.Parallelism > 0 {
+		return a.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPool invokes fn(i) for every i in [0, n) across at most `workers`
+// goroutines. Each fn(i) owns slot i of whatever result slice the caller
+// allocated, so no synchronization is needed for results — merge order
+// (and therefore the final plan) is decided by the caller iterating
+// slots in index order, which makes parallel runs bit-identical to
+// sequential ones.
+//
+// Cancellation: once ctx is done no further indices are dispatched, and
+// fn itself is expected to poll ctx. runPool always waits for in-flight
+// fn calls to return before it does, so no goroutine outlives the call.
+func runPool(ctx context.Context, workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/costmodel"
@@ -13,7 +14,7 @@ import (
 // against noisy "measured" footprints across the paper's validation
 // sweep (BLOOM-560m/1b7, OPT-13b/30b/66b), and the fitted latency model
 // against 50 unseen workloads per device.
-func Fig8() (*Result, error) {
+func Fig8(ctx context.Context) (*Result, error) {
 	mm := costmodel.MemoryModel{}
 	ms := gpu.NewMeasurer(1001)
 	rng := stats.NewRNG(1002)

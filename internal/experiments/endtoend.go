@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -17,7 +18,7 @@ import (
 
 // methodRun plans with one method and simulates the result, returning
 // throughput (0 on OOM/infeasibility).
-func methodRun(spec *model.Spec, clu *cluster.Cluster, batch workload.Batch,
+func methodRun(ctx context.Context, spec *model.Spec, clu *cluster.Cluster, batch workload.Batch,
 	opts core.Options) (float64, *plan.Plan, error) {
 
 	ind := core.ProfileIndicator(spec, []int{3, 4, 8, 16}, quant.Deterministic)
@@ -25,7 +26,7 @@ func methodRun(spec *model.Spec, clu *cluster.Cluster, batch workload.Batch,
 	if err != nil {
 		return 0, nil, err
 	}
-	p, _, err := a.Plan(batch)
+	p, _, err := a.Plan(ctx, batch)
 	if err != nil {
 		return 0, nil, nil // infeasible: OOM-style zero bar
 	}
@@ -41,14 +42,14 @@ func methodRun(spec *model.Spec, clu *cluster.Cluster, batch workload.Batch,
 
 // uniformQuality returns the Σω of the Uniform plan (the §VI-C quality
 // floor), or -1 when Uniform is infeasible.
-func uniformQuality(spec *model.Spec, clu *cluster.Cluster, batch workload.Batch, opts core.Options) float64 {
+func uniformQuality(ctx context.Context, spec *model.Spec, clu *cluster.Cluster, batch workload.Batch, opts core.Options) float64 {
 	opts.Method = core.MethodUniform
 	ind := core.ProfileIndicator(spec, []int{3, 4, 8, 16}, quant.Deterministic)
 	a, err := core.New(spec, clu, ind, opts)
 	if err != nil {
 		return -1
 	}
-	p, _, err := a.Plan(batch)
+	p, _, err := a.Plan(ctx, batch)
 	if err != nil {
 		return -1
 	}
@@ -98,7 +99,7 @@ func fastOpts(method core.Method, theta float64) core.Options {
 // Concurrency is sized so the full-batch KV reservation fits the
 // simulated clusters (vLLM pages KV dynamically; our runtime reserves it
 // up front).
-func Fig9() (*Result, error) {
+func Fig9(ctx context.Context) (*Result, error) {
 	cases := []struct {
 		clusterN int
 		modelN   string
@@ -132,24 +133,24 @@ func Fig9() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		uni, _, err := methodRun(spec, clu, batch, fastOpts(core.MethodUniform, 0))
+		uni, _, err := methodRun(ctx, spec, clu, batch, fastOpts(core.MethodUniform, 0))
 		if err != nil {
 			return nil, err
 		}
-		hetTp, _, err := methodRun(spec, clu, batch, fastOpts(core.MethodHet, 0))
+		hetTp, _, err := methodRun(ctx, spec, clu, batch, fastOpts(core.MethodHet, 0))
 		if err != nil {
 			return nil, err
 		}
 		// §VI-C: constrain SplitQuant to at least Uniform's quality.
 		sqOpts := fastOpts(core.MethodHeuristic, 1)
-		if q := uniformQuality(spec, clu, batch, sqOpts); q >= 0 {
+		if q := uniformQuality(ctx, spec, clu, batch, sqOpts); q >= 0 {
 			cap := q
 			if cap == 0 {
 				cap = 1e-9 // "at least FP16 quality" → effectively FP16 only
 			}
 			sqOpts.QualityCap = cap
 		}
-		sq, _, err := methodRun(spec, clu, batch, sqOpts)
+		sq, _, err := methodRun(ctx, spec, clu, batch, sqOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +174,7 @@ func Fig9() (*Result, error) {
 // heterogeneous clusters: the DeepSpeed-style fixed workload (B=32,
 // s=512), where Uniform frequently cannot fit at all and speedups are
 // reported against Het.
-func Fig10() (*Result, error) {
+func Fig10(ctx context.Context) (*Result, error) {
 	var cases []e2eCase
 	for _, cn := range []int{5, 6, 8} {
 		b, _ := synthBatch("fixed", 32, 2048)
@@ -194,18 +195,18 @@ func Fig10() (*Result, error) {
 			return nil, err
 		}
 		clu := cluster.MustPreset(c.clusterN)
-		uni, _, err := methodRun(spec, clu, c.batch, fastOpts(core.MethodUniform, 0))
+		uni, _, err := methodRun(ctx, spec, clu, c.batch, fastOpts(core.MethodUniform, 0))
 		if err != nil {
 			return nil, err
 		}
 		if uni == 0 {
 			oomCount++
 		}
-		hetTp, _, err := methodRun(spec, clu, c.batch, fastOpts(core.MethodHet, 0))
+		hetTp, _, err := methodRun(ctx, spec, clu, c.batch, fastOpts(core.MethodHet, 0))
 		if err != nil {
 			return nil, err
 		}
-		sq, _, err := methodRun(spec, clu, c.batch, fastOpts(core.MethodHeuristic, 1))
+		sq, _, err := methodRun(ctx, spec, clu, c.batch, fastOpts(core.MethodHeuristic, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +230,7 @@ func Fig10() (*Result, error) {
 // Table4 regenerates the homogeneous-cluster study: clusters 1, 9 and 10
 // with explicit parallelism configurations (PP4, TP2+PP2, TP4) under
 // Uniform, plus Het and SplitQuant with free topology choice.
-func Table4() (*Result, error) {
+func Table4(ctx context.Context) (*Result, error) {
 	t := newTable("cluster", "model", "scheme", "config", "tkn/s", "speedup")
 	metrics := map[string]float64{}
 
@@ -265,7 +266,7 @@ func Table4() (*Result, error) {
 		}
 		// §VI-C/D quality floor for SplitQuant rows.
 		var qcap float64
-		if q := uniformQuality(spec, clu, batch, fastOpts(core.MethodUniform, 0)); q >= 0 {
+		if q := uniformQuality(ctx, spec, clu, batch, fastOpts(core.MethodUniform, 0)); q >= 0 {
 			qcap = q
 			if qcap == 0 {
 				qcap = 1e-9
@@ -280,7 +281,7 @@ func Table4() (*Result, error) {
 			if r.scheme == "splitquant" && qcap > 0 {
 				opts.QualityCap = qcap
 			}
-			tp, _, err := methodRun(spec, clu, batch, opts)
+			tp, _, err := methodRun(ctx, spec, clu, batch, opts)
 			if err != nil {
 				return err
 			}

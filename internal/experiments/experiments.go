@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,16 +84,19 @@ func min(a, b int) int {
 	return b
 }
 
-// All runs every experiment in paper order. Expensive; primarily for
-// `cmd/experiments all`.
-func All() ([]*Result, error) {
-	runs := []func() (*Result, error){
+// All runs every experiment in paper order, stopping at the first error
+// or once ctx is done. Expensive; primarily for `cmd/experiments all`.
+func All(ctx context.Context) ([]*Result, error) {
+	runs := []func(context.Context) (*Result, error){
 		Fig1, Fig3, Fig4, Fig5, Table1, Fig7, Fig8, Fig9, Fig10,
 		Table4, Table5, Table6, Fig11, Fig12, Ablations, Extensions,
 	}
 	var out []*Result
 	for _, run := range runs {
-		r, err := run()
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		r, err := run(ctx)
 		if err != nil {
 			return out, err
 		}
@@ -111,40 +115,40 @@ func IDs() []string {
 }
 
 // ByID dispatches one experiment by id.
-func ByID(id string) (*Result, error) {
+func ByID(ctx context.Context, id string) (*Result, error) {
 	switch strings.ToLower(id) {
 	case "fig1":
-		return Fig1()
+		return Fig1(ctx)
 	case "fig3":
-		return Fig3()
+		return Fig3(ctx)
 	case "fig4":
-		return Fig4()
+		return Fig4(ctx)
 	case "fig5":
-		return Fig5()
+		return Fig5(ctx)
 	case "table1":
-		return Table1()
+		return Table1(ctx)
 	case "fig7":
-		return Fig7()
+		return Fig7(ctx)
 	case "fig8":
-		return Fig8()
+		return Fig8(ctx)
 	case "fig9":
-		return Fig9()
+		return Fig9(ctx)
 	case "fig10":
-		return Fig10()
+		return Fig10(ctx)
 	case "table4":
-		return Table4()
+		return Table4(ctx)
 	case "table5":
-		return Table5()
+		return Table5(ctx)
 	case "table6":
-		return Table6()
+		return Table6(ctx)
 	case "fig11":
-		return Fig11()
+		return Fig11(ctx)
 	case "fig12":
-		return Fig12()
+		return Fig12(ctx)
 	case "ablation":
-		return Ablations()
+		return Ablations(ctx)
 	case "extensions":
-		return Extensions()
+		return Extensions(ctx)
 	default:
 		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
 	}

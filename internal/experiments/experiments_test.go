@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ func metric(t *testing.T, r *Result, key string) float64 {
 }
 
 func TestByIDUnknown(t *testing.T) {
-	if _, err := ByID("fig99"); err == nil {
+	if _, err := ByID(context.Background(), "fig99"); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 }
@@ -32,7 +33,7 @@ func TestIDsDispatch(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	r, err := Fig1()
+	r, err := Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	r, err := Fig3()
+	r, err := Fig3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	r, err := Fig5()
+	r, err := Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	r, err := Fig7()
+	r, err := Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	r, err := Fig8()
+	r, err := Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	r, err := Fig10()
+	r, err := Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	r, err := Fig12()
+	r, err := Fig12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	r, err := Ablations()
+	r, err := Ablations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestFig9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig9 is slow")
 	}
-	r, err := Fig9()
+	r, err := Fig9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestFig4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig4 is slow")
 	}
-	r, err := Fig4()
+	r, err := Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestTable1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table1 is slow")
 	}
-	r, err := Table1()
+	r, err := Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestTable5Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table5 is slow")
 	}
-	r, err := Table5()
+	r, err := Table5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestTable4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table4 is slow")
 	}
-	r, err := Table4()
+	r, err := Table4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestTable6Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("table6 is slow")
 	}
-	r, err := Table6()
+	r, err := Table6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestFig11Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("fig11 is slow")
 	}
-	r, err := Fig11()
+	r, err := Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestExtensionsShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extensions is slow")
 	}
-	r, err := Extensions()
+	r, err := Extensions(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/quant"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -11,7 +12,7 @@ import (
 // round-to-nearest on the real proxy backend: GPTQ error compensation
 // (weight-only) and SmoothQuant activation-outlier migration (W·A4),
 // reporting measured perplexity against the plain alternatives.
-func Extensions() (*Result, error) {
+func Extensions(ctx context.Context) (*Result, error) {
 	t := newTable("scheme", "configuration", "avg PPL")
 	metrics := map[string]float64{}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fleet"
@@ -12,7 +13,7 @@ import (
 
 // Fig1 regenerates the production-fleet motivation: GPU-type shares and
 // per-type monthly utilization, with the A100-vs-rest utilization gap.
-func Fig1() (*Result, error) {
+func Fig1(ctx context.Context) (*Result, error) {
 	tr, err := fleet.Generate(stats.NewRNG(1), fleet.DefaultShares, 12)
 	if err != nil {
 		return nil, err
@@ -39,7 +40,7 @@ func Fig1() (*Result, error) {
 // decode share of end-to-end time for OPT-13B/30B at different prompt
 // lengths, and (bottom) the single-layer P100/V100 execution-time ratio
 // per phase.
-func Fig3() (*Result, error) {
+func Fig3(ctx context.Context) (*Result, error) {
 	v100 := gpu.MustLookup(gpu.V100)
 	p100 := gpu.MustLookup(gpu.P100)
 
@@ -80,7 +81,7 @@ func Fig3() (*Result, error) {
 
 // Fig5 regenerates the precision/batch latency grid: a single OPT-30B
 // layer at s=512 across bitwidths and batch sizes on T4 and V100.
-func Fig5() (*Result, error) {
+func Fig5(ctx context.Context) (*Result, error) {
 	spec := model.OPT30B
 	t := newTable("device", "phase", "batch", "fp16 (ms)", "int8", "int4", "int3")
 	devices := []gpu.DeviceClass{gpu.T4, gpu.V100}
@@ -113,7 +114,7 @@ func Fig5() (*Result, error) {
 
 // Fig7 regenerates the workload length distributions of CNN-DailyMail
 // and LooGLE.
-func Fig7() (*Result, error) {
+func Fig7(ctx context.Context) (*Result, error) {
 	cnn := workload.CNNDailyMail(stats.NewRNG(7), 10000)
 	loogle := workload.LooGLE(stats.NewRNG(8), 10000)
 	t := newTable("workload", "avg prompt", "p95 prompt", "avg output")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,7 +20,7 @@ import (
 // the resulting throughput and the planning overhead, under a per-solve
 // ILP budget (the paper uses 60 s; we use a tighter budget so the whole
 // suite stays fast — the ranking is what matters).
-func Table6() (*Result, error) {
+func Table6(ctx context.Context) (*Result, error) {
 	cases := []struct {
 		clusterN int
 		modelN   string
@@ -57,7 +58,7 @@ func Table6() (*Result, error) {
 		}
 		for _, v := range variants {
 			start := time.Now()
-			tp, _, err := methodRun(spec, clu, batch, v.opts)
+			tp, _, err := methodRun(ctx, spec, clu, batch, v.opts)
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +79,7 @@ func Table6() (*Result, error) {
 // value, on cluster 7 / OPT-66B and cluster 8 / OPT-30B. Quality is
 // reported both as the planner's Σω and as real proxy perplexity of the
 // chosen bit assignment.
-func Fig11() (*Result, error) {
+func Fig11(ctx context.Context) (*Result, error) {
 	cases := []struct {
 		clusterN  int
 		modelN    string
@@ -114,7 +115,7 @@ func Fig11() (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, _, err := a.Plan(batch)
+			p, _, err := a.Plan(ctx, batch)
 			if err != nil {
 				return nil, err
 			}
@@ -141,7 +142,7 @@ func Fig11() (*Result, error) {
 // Fig12 regenerates the pure-adaptive-quantization ablation: adabits
 // (quality-only bit assignment, memory-balanced partition) versus the
 // full joint optimization, on clusters 5-8.
-func Fig12() (*Result, error) {
+func Fig12(ctx context.Context) (*Result, error) {
 	cases := []struct {
 		clusterN int
 		modelN   string
@@ -161,11 +162,11 @@ func Fig12() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ada, _, err := methodRun(spec, clu, batch, fastOpts(core.MethodAdabits, 1))
+		ada, _, err := methodRun(ctx, spec, clu, batch, fastOpts(core.MethodAdabits, 1))
 		if err != nil {
 			return nil, err
 		}
-		sq, _, err := methodRun(spec, clu, batch, fastOpts(core.MethodHeuristic, 1))
+		sq, _, err := methodRun(ctx, spec, clu, batch, fastOpts(core.MethodHeuristic, 1))
 		if err != nil {
 			return nil, err
 		}
@@ -187,7 +188,7 @@ func Fig12() (*Result, error) {
 // Ablations covers the DESIGN.md ablation hooks not tied to a paper
 // artifact: phase-aware vs prefill-only partitioning (D1) and
 // co-optimized vs fixed micro-batching (D5).
-func Ablations() (*Result, error) {
+func Ablations(ctx context.Context) (*Result, error) {
 	spec := model.OPT30B
 	clu := cluster.MustPreset(6)
 	batch, err := synthBatch("fixed", 32, 2048)
@@ -205,7 +206,7 @@ func Ablations() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pPre, _, err := aPre.Plan(batch)
+	pPre, _, err := aPre.Plan(ctx, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +218,7 @@ func Ablations() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pFull, _, err := aFull.Plan(batch)
+	pFull, _, err := aFull.Plan(ctx, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +234,7 @@ func Ablations() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pFixed, _, err := aFixed.Plan(batch)
+	pFixed, _, err := aFixed.Plan(ctx, batch)
 	if err != nil {
 		return nil, err
 	}

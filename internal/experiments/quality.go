@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -26,7 +27,7 @@ func getProxy(name string, layers int, seed uint64) (*eval.Proxy, error) {
 // Fig4 regenerates the quantization-scheme quality comparison: PPL and
 // accuracy of BLOOM-3B and OPT-1.3B proxies under uniform 16/8/4/3-bit
 // and the mixed4-8 / mixed3-4 random mixes.
-func Fig4() (*Result, error) {
+func Fig4(ctx context.Context) (*Result, error) {
 	t := newTable("model", "scheme", "avg PPL", "avg acc (%)")
 	metrics := map[string]float64{}
 	models := []struct {
@@ -74,7 +75,7 @@ func Fig4() (*Result, error) {
 // Table1 regenerates the layer-range sensitivity experiment: quantize
 // one third of the layers to 4-bit (rest FP16) and compare which third
 // hurts least. The paper's trend: the earliest range is safest.
-func Table1() (*Result, error) {
+func Table1(ctx context.Context) (*Result, error) {
 	t := newTable("model", "layers at 4-bit", "avg PPL", "avg acc (%)")
 	metrics := map[string]float64{}
 	models := []struct {
@@ -115,7 +116,7 @@ func Table1() (*Result, error) {
 // SplitQuant's variance indicator, comparing both the quality of the bit
 // allocations they induce (PPL under a fixed mean-bit budget) and the
 // indicator computation overhead.
-func Table5() (*Result, error) {
+func Table5(ctx context.Context) (*Result, error) {
 	t := newTable("model", "indicator", "avg PPL", "overhead (s)")
 	metrics := map[string]float64{}
 	models := []struct {

@@ -9,8 +9,10 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/lp"
@@ -107,6 +109,16 @@ func (q *nodeQueue) Pop() interface{} {
 
 // Solve minimizes the MILP under the given options.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation. A cancelled or
+// deadline-exceeded context stops the branch-and-bound search promptly
+// (the node loop and the underlying LP pivots both poll ctx) and returns
+// the best incumbent found so far — the same graceful degradation as the
+// TimeLimit option. Callers distinguish a proved optimum from an
+// interrupted search via Solution.Proved.
+func SolveContext(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if err := p.LP.Validate(); err != nil {
 		return nil, err
 	}
@@ -160,6 +172,9 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
+		if ctx.Err() != nil {
+			break
+		}
 		nd := heap.Pop(queue).(*node)
 		// Bound pruning against the incumbent.
 		if nd.bound >= best.Objective-gap*math.Abs(best.Objective)-1e-12 && best.Status != NoSolution {
@@ -168,7 +183,7 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		best.Nodes++
 
 		sub := applyFixes(base, nd.fixes, n)
-		sol, err := lp.Solve(sub, 0)
+		sol, err := lp.SolveContext(ctx, sub, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -267,19 +282,27 @@ func applyFixes(base *lp.Problem, fixes map[int]float64, n int) *lp.Problem {
 	if len(fixes) == 0 {
 		return sub
 	}
-	// Copy-on-append: share the base rows, append fix rows.
+	// Copy-on-append: share the base rows, append fix rows. The fixes are
+	// applied in sorted variable order so the subproblem — and therefore
+	// the simplex pivot sequence — is identical across runs regardless of
+	// map iteration order.
 	a := make([][]float64, len(base.A), len(base.A)+len(fixes))
 	copy(a, base.A)
 	senses := make([]lp.Sense, len(base.Senses), len(base.Senses)+len(fixes))
 	copy(senses, base.Senses)
 	b := make([]float64, len(base.B), len(base.B)+len(fixes))
 	copy(b, base.B)
-	for j, v := range fixes {
+	keys := make([]int, 0, len(fixes))
+	for j := range fixes {
+		keys = append(keys, j)
+	}
+	sort.Ints(keys)
+	for _, j := range keys {
 		row := make([]float64, n)
 		row[j] = 1
 		a = append(a, row)
 		senses = append(senses, lp.EQ)
-		b = append(b, v)
+		b = append(b, fixes[j])
 	}
 	sub.A, sub.Senses, sub.B = a, senses, b
 	return sub

@@ -11,6 +11,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -107,6 +108,14 @@ type tableau struct {
 // Solve runs two-phase simplex with the given iteration limit per phase
 // (0 means a generous default).
 func Solve(p *Problem, maxIter int) (*Solution, error) {
+	return SolveContext(context.Background(), p, maxIter)
+}
+
+// SolveContext is Solve with cooperative cancellation: the pivot loop
+// polls ctx and, once it is cancelled or past its deadline, abandons the
+// solve and reports IterLimit (callers treat the subproblem as
+// unresolved, exactly as when the iteration budget runs out).
+func SolveContext(ctx context.Context, p *Problem, maxIter int) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,7 +194,7 @@ func Solve(p *Problem, maxIter int) (*Solution, error) {
 		for j := t.artStart; j < cols; j++ {
 			phase1[j] = 1
 		}
-		status, obj := t.optimize(phase1, maxIter)
+		status, obj := t.optimize(ctx, phase1, maxIter)
 		if status == IterLimit {
 			return &Solution{Status: IterLimit}, nil
 		}
@@ -225,7 +234,7 @@ func Solve(p *Problem, maxIter int) (*Solution, error) {
 	// Phase 2: the real objective over original + slack columns.
 	phase2 := make([]float64, cols)
 	copy(phase2, p.C)
-	status, obj := t.optimize(phase2, maxIter)
+	status, obj := t.optimize(ctx, phase2, maxIter)
 	switch status {
 	case Unbounded:
 		return &Solution{Status: Unbounded}, nil
@@ -243,11 +252,14 @@ func Solve(p *Problem, maxIter int) (*Solution, error) {
 
 // optimize runs primal simplex minimizing c over the current basis. It
 // returns the status and final objective value.
-func (t *tableau) optimize(c []float64, maxIter int) (Status, float64) {
+func (t *tableau) optimize(ctx context.Context, c []float64, maxIter int) (Status, float64) {
 	// Reduced costs are computed directly each iteration (dense; fine at
 	// the problem sizes the planner produces).
 	y := make([]float64, t.cols) // reduced cost buffer
 	for iter := 0; iter < maxIter; iter++ {
+		if iter&31 == 0 && ctx.Err() != nil {
+			return IterLimit, 0
+		}
 		// reduced cost r_j = c_j - sum_i c_basis[i] * a[i][j]
 		for j := 0; j < t.cols; j++ {
 			y[j] = c[j]

@@ -1,9 +1,15 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrUnknownModel means Lookup was asked for a name outside the built-in
+// architecture registry. Returned wrapped with the name and the known
+// list; test with errors.Is.
+var ErrUnknownModel = errors.New("unknown model architecture")
 
 // registry holds the built-in architectures, keyed by canonical name.
 var registry = map[string]*Spec{}
@@ -54,7 +60,7 @@ var (
 func Lookup(name string) (*Spec, error) {
 	s, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("model: unknown architecture %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("model: %w %q (known: %v)", ErrUnknownModel, name, Names())
 	}
 	return s, nil
 }

@@ -8,6 +8,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -122,7 +123,7 @@ type Options struct {
 
 // Build plans every feasible (job, resource) pairing and assigns jobs
 // greedily (longest minimum-duration first) to minimize makespan.
-func Build(jobs []Job, resources []Resource, opts Options) (*Schedule, error) {
+func Build(ctx context.Context, jobs []Job, resources []Resource, opts Options) (*Schedule, error) {
 	if len(jobs) == 0 || len(resources) == 0 {
 		return nil, fmt.Errorf("scheduler: need at least one job and one resource")
 	}
@@ -171,7 +172,7 @@ func Build(jobs []Job, resources []Resource, opts Options) (*Schedule, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, _, err := a.Plan(job.Batch)
+			p, _, err := a.Plan(ctx, job.Batch)
 			if err != nil {
 				continue // infeasible pairing
 			}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -30,7 +31,7 @@ func TestBuildBasicSchedule(t *testing.T) {
 		{ID: "eval-13b", Model: "opt-13b", Batch: fixedBatch(32), Requests: 640},
 		{ID: "synth-13b", Model: "opt-13b", Batch: fixedBatch(16), Requests: 160},
 	}
-	sched, err := Build(jobs, testResources(), fastPlanner())
+	sched, err := Build(context.Background(), jobs, testResources(), fastPlanner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +74,11 @@ func TestParallelismBeatsSingleResource(t *testing.T) {
 		{ID: "b", Model: "opt-13b", Batch: fixedBatch(32), Requests: 640},
 		{ID: "c", Model: "opt-13b", Batch: fixedBatch(32), Requests: 640},
 	}
-	multi, err := Build(jobs, testResources(), fastPlanner())
+	multi, err := Build(context.Background(), jobs, testResources(), fastPlanner())
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Build(jobs, testResources()[:1], fastPlanner())
+	single, err := Build(context.Background(), jobs, testResources()[:1], fastPlanner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestAvailabilityStretchesDuration(t *testing.T) {
 	jobs := []Job{{ID: "a", Model: "opt-13b", Batch: fixedBatch(16), Requests: 64}}
 	mk := func(avail float64) float64 {
 		res := []Resource{{Name: "r", Cluster: cluster.MustPreset(9), Availability: avail}}
-		s, err := Build(jobs, res, fastPlanner())
+		s, err := Build(context.Background(), jobs, res, fastPlanner())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestUnplaceableJobReported(t *testing.T) {
 	// Only cluster 1 (a single V100-32G): the 70B model cannot fit even
 	// at 3 bits once embeddings and the batch's KV cache are counted.
 	res := []Resource{{Name: "small", Cluster: cluster.MustPreset(1), Availability: 1}}
-	sched, err := Build(jobs, res, fastPlanner())
+	sched, err := Build(context.Background(), jobs, res, fastPlanner())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,28 +126,28 @@ func TestUnplaceableJobReported(t *testing.T) {
 func TestValidation(t *testing.T) {
 	good := Job{ID: "a", Model: "opt-13b", Batch: fixedBatch(8), Requests: 8}
 	res := testResources()
-	if _, err := Build(nil, res, fastPlanner()); err == nil {
+	if _, err := Build(context.Background(), nil, res, fastPlanner()); err == nil {
 		t.Fatal("no jobs accepted")
 	}
-	if _, err := Build([]Job{good}, nil, fastPlanner()); err == nil {
+	if _, err := Build(context.Background(), []Job{good}, nil, fastPlanner()); err == nil {
 		t.Fatal("no resources accepted")
 	}
 	bad := good
 	bad.Model = "gpt-5"
-	if _, err := Build([]Job{bad}, res, fastPlanner()); err == nil {
+	if _, err := Build(context.Background(), []Job{bad}, res, fastPlanner()); err == nil {
 		t.Fatal("unknown model accepted")
 	}
 	bad2 := good
 	bad2.Requests = 0
-	if _, err := Build([]Job{bad2}, res, fastPlanner()); err == nil {
+	if _, err := Build(context.Background(), []Job{bad2}, res, fastPlanner()); err == nil {
 		t.Fatal("zero requests accepted")
 	}
 	dup := []Resource{res[0], res[0]}
-	if _, err := Build([]Job{good}, dup, fastPlanner()); err == nil {
+	if _, err := Build(context.Background(), []Job{good}, dup, fastPlanner()); err == nil {
 		t.Fatal("duplicate resource accepted")
 	}
 	badRes := []Resource{{Name: "x", Cluster: cluster.MustPreset(1), Availability: 2}}
-	if _, err := Build([]Job{good}, badRes, fastPlanner()); err == nil {
+	if _, err := Build(context.Background(), []Job{good}, badRes, fastPlanner()); err == nil {
 		t.Fatal("availability > 1 accepted")
 	}
 }
@@ -163,7 +164,7 @@ func TestBigJobsAvoidSlowClusters(t *testing.T) {
 		{Name: "fast", Cluster: cluster.MustPreset(9), Availability: 1},
 		{Name: "weak", Cluster: cluster.MustPreset(8), Availability: 0.3},
 	}
-	sched, err := Build(jobs, res, fastPlanner())
+	sched, err := Build(context.Background(), jobs, res, fastPlanner())
 	if err != nil {
 		t.Fatal(err)
 	}

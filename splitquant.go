@@ -14,12 +14,20 @@
 //	m, _ := dep.Measure()
 //	fmt.Println(dep, m.Throughput)
 //
+// Planning is parallel (WithParallelism) yet deterministic — the same
+// inputs produce bit-identical plans at any worker count — and
+// cancellable: PlanContext/PlanBatchContext honor context cancellation
+// and deadlines, returning the best incumbent plan found so far (see
+// Deployment.Stats). WithProgress streams live search progress.
+//
 // The heavy lifting lives in the internal packages (planner, roofline
 // GPU simulator, LP/ILP solvers, tiny real-transformer quality backend);
 // this package exposes the workflow a downstream user needs.
 package splitquant
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -30,6 +38,24 @@ import (
 	"repro/internal/quant"
 	"repro/internal/stats"
 	"repro/internal/workload"
+)
+
+// Sentinel errors. All errors returned by this package wrap one of these
+// (or an internal detail error) so callers can classify failures with
+// errors.Is instead of string matching.
+var (
+	// ErrUnknownModel is returned by New when the model name matches no
+	// built-in architecture (see Models).
+	ErrUnknownModel = model.ErrUnknownModel
+	// ErrUnknownMethod is returned by New when WithMethod names no
+	// planning algorithm.
+	ErrUnknownMethod = core.ErrUnknownMethod
+	// ErrInfeasible is returned by Plan when no configuration of the
+	// cluster can hold the model for the requested batch.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrEmptyWorkload is returned by Plan when the workload carries no
+	// request profile (e.g. a zero Workload{}).
+	ErrEmptyWorkload = errors.New("splitquant: empty workload")
 )
 
 // GPU identifies a supported accelerator class.
@@ -110,18 +136,40 @@ func (cs ClusterSpec) build() (*cluster.Cluster, error) {
 // Models returns the names of the built-in model architectures.
 func Models() []string { return model.Names() }
 
+// Method selects the planning algorithm.
+type Method string
+
+// Planning methods.
+const (
+	// MethodHeuristic (the default) runs the adaptive-quantization
+	// multi-start heuristic with bitwidth-transfer local search.
+	MethodHeuristic Method = Method(core.MethodHeuristic)
+	// MethodILP additionally polishes the shortlisted configurations with
+	// the branch-and-bound integer program (§IV-C) — slower, occasionally
+	// better.
+	MethodILP Method = Method(core.MethodILP)
+	// MethodAdabits is the pure adaptive-quantization ablation.
+	MethodAdabits Method = Method(core.MethodAdabits)
+	// MethodUniform is the even-split single-bitwidth baseline.
+	MethodUniform Method = Method(core.MethodUniform)
+	// MethodHet is the workload-balanced uniform-precision baseline.
+	MethodHet Method = Method(core.MethodHet)
+)
+
 // Option customizes a System.
 type Option func(*options)
 
 type options struct {
-	bits       []int
-	theta      float64
-	bitKV      int
-	method     core.Method
-	timeLimit  time.Duration
-	group      int
-	qualityCap float64
-	orderings  int
+	bits        []int
+	theta       float64
+	bitKV       int
+	method      core.Method
+	timeLimit   time.Duration
+	group       int
+	qualityCap  float64
+	orderings   int
+	parallelism int
+	progress    func(PlanProgress)
 }
 
 // WithBits sets the candidate quantization bitwidths (default 3,4,8,16).
@@ -134,11 +182,32 @@ func WithTheta(theta float64) Option { return func(o *options) { o.theta = theta
 // WithKVBits sets the KV-cache bitwidth (default 16).
 func WithKVBits(bits int) Option { return func(o *options) { o.bitKV = bits } }
 
-// WithMethod selects the planning algorithm: "ilp" (default),
-// "heuristic", "adabits", "uniform", or "het".
-func WithMethod(method string) Option {
-	return func(o *options) { o.method = core.Method(method) }
+// WithMethod selects the planning algorithm: MethodHeuristic (the
+// default), MethodILP, MethodAdabits, MethodUniform, or MethodHet. An
+// unknown method makes New fail with ErrUnknownMethod.
+func WithMethod(m Method) Option {
+	return func(o *options) { o.method = core.Method(m) }
 }
+
+// WithMethodString is WithMethod for a method name held in a string
+// variable (flags, config files).
+//
+// Deprecated: use WithMethod with a Method constant; untyped string
+// literals convert implicitly.
+func WithMethodString(method string) Option { return WithMethod(Method(method)) }
+
+// WithParallelism bounds the planner's worker pool. The independent
+// candidate configurations of one Plan call are solved concurrently on
+// up to n goroutines: 0 (the default) uses one worker per available CPU,
+// 1 forces a sequential search. Plans are bit-identical at every
+// setting; only wall-clock time changes.
+func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
+
+// WithProgress installs a live planning progress hook, called once per
+// finished candidate configuration (and per ILP polish solve). Calls are
+// serialized even under parallel planning; the hook must return quickly
+// and must not call back into the System.
+func WithProgress(fn func(PlanProgress)) Option { return func(o *options) { o.progress = fn } }
 
 // WithILPTimeLimit bounds each ILP solve (default 60s).
 func WithILPTimeLimit(d time.Duration) Option { return func(o *options) { o.timeLimit = d } }
@@ -174,6 +243,10 @@ func New(modelName string, cs ClusterSpec, opts ...Option) (*System, error) {
 	o := options{theta: 10, method: core.MethodHeuristic}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if !core.ValidMethod(o.method) {
+		return nil, fmt.Errorf("splitquant: %w %q (valid: %s, %s, %s, %s, %s)", ErrUnknownMethod, o.method,
+			MethodHeuristic, MethodILP, MethodAdabits, MethodUniform, MethodHet)
 	}
 	if len(o.bits) == 0 {
 		o.bits = []int{3, 4, 8, 16}
@@ -222,12 +295,62 @@ func FixedWorkload(n, promptLen, outputLen int) Workload {
 // Name returns the workload's profile name.
 func (w Workload) Name() string { return w.profile.Name }
 
+// ConfigStat records the solver work spent on one explored candidate
+// configuration (device ordering plus micro-batch pair).
+type ConfigStat struct {
+	// Key is the canonical configuration key: ordered device IDs joined
+	// by ">" plus the micro-batch pair, e.g. "a/tp1-0>b/tp1-0|eta=4|xi=8".
+	Key string
+	// Feasible reports whether the configuration admitted any assignment.
+	Feasible bool
+	// Objective is the best planning objective found for the
+	// configuration (+Inf when infeasible).
+	Objective float64
+	// ILPSolves and Nodes count branch-and-bound work (zero during the
+	// heuristic sweep).
+	ILPSolves int
+	Nodes     int
+	// Seconds is wall-clock time spent on the configuration.
+	Seconds float64
+}
+
+// Planning progress phases.
+const (
+	// PhaseSearch is the heuristic sweep over candidate configurations.
+	PhaseSearch = core.PhaseSearch
+	// PhasePolish is the ILP refinement of the shortlisted candidates.
+	PhasePolish = core.PhasePolish
+)
+
+// PlanProgress is one live planning progress event (see WithProgress).
+type PlanProgress struct {
+	// Phase is PhaseSearch or PhasePolish.
+	Phase string
+	// Done and Total count configurations within the phase.
+	Done, Total int
+	// BestObjective is the best feasible objective seen so far (+Inf
+	// until the first feasible configuration).
+	BestObjective float64
+	// Config describes the configuration that just finished.
+	Config ConfigStat
+}
+
 // Plan synthesizes a batch of batchSize concurrent requests from the
 // workload and jointly optimizes quantization bitwidths, layer
-// partitioning and micro-batch sizes for it.
+// partitioning and micro-batch sizes for it. It is
+// PlanContext(context.Background(), ...).
 func (s *System) Plan(w Workload, batchSize int) (*Deployment, error) {
+	return s.PlanContext(context.Background(), w, batchSize)
+}
+
+// PlanContext is Plan with cooperative cancellation. Cancelling ctx (or
+// exceeding its deadline) stops in-flight solver work promptly: when the
+// search has already found a feasible plan the best incumbent is
+// returned (Deployment.Stats reports Cancelled=true); before that,
+// PlanContext returns ctx.Err().
+func (s *System) PlanContext(ctx context.Context, w Workload, batchSize int) (*Deployment, error) {
 	if w.profile == nil {
-		return nil, fmt.Errorf("splitquant: empty workload")
+		return nil, ErrEmptyWorkload
 	}
 	chunk := w.ChunkLen
 	if chunk == 0 {
@@ -241,12 +364,19 @@ func (s *System) Plan(w Workload, batchSize int) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.PlanBatch(batch)
+	return s.PlanBatchContext(ctx, batch)
 }
 
 // PlanBatch plans for an explicit batch shape (exposed for advanced
-// callers; most should use Plan).
+// callers; most should use Plan). It is
+// PlanBatchContext(context.Background(), ...).
 func (s *System) PlanBatch(batch workload.Batch) (*Deployment, error) {
+	return s.PlanBatchContext(context.Background(), batch)
+}
+
+// PlanBatchContext is PlanBatch with cooperative cancellation (see
+// PlanContext for the semantics).
+func (s *System) PlanBatchContext(ctx context.Context, batch workload.Batch) (*Deployment, error) {
 	opts := core.Options{
 		Bits:          s.opts.bits,
 		Theta:         s.opts.theta,
@@ -256,12 +386,21 @@ func (s *System) PlanBatch(batch workload.Batch) (*Deployment, error) {
 		GroupSize:     s.opts.group,
 		QualityCap:    s.opts.qualityCap,
 		OrderingLimit: s.opts.orderings,
+		Parallelism:   s.opts.parallelism,
+	}
+	if hook := s.opts.progress; hook != nil {
+		opts.Progress = func(p core.Progress) {
+			hook(PlanProgress{
+				Phase: p.Phase, Done: p.Done, Total: p.Total, BestObjective: p.BestObjective,
+				Config: ConfigStat(p.Config),
+			})
+		}
 	}
 	a, err := core.New(s.spec, s.clu, s.ind, opts)
 	if err != nil {
 		return nil, err
 	}
-	p, rep, err := a.Plan(batch)
+	p, rep, err := a.Plan(ctx, batch)
 	if err != nil {
 		return nil, err
 	}

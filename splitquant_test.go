@@ -99,7 +99,7 @@ func TestWorkloadConstructors(t *testing.T) {
 }
 
 func TestBaselineComparison(t *testing.T) {
-	mk := func(method string) float64 {
+	mk := func(method Method) float64 {
 		sys, err := New("opt-30b", Preset(6), WithMethod(method), WithTheta(1))
 		if err != nil {
 			t.Fatal(err)
