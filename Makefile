@@ -9,10 +9,13 @@ test:
 	$(GO) test ./...
 
 # Full gate: static checks plus the whole suite under the race detector
-# (the planner runs a worker pool; -race keeps it honest).
+# (the planner runs a worker pool; -race keeps it honest). The explicit
+# -timeout raises Go's 10-minute per-package default: the experiments
+# package regenerates every paper table and can exceed it under -race
+# on small CI machines.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

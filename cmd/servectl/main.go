@@ -1,0 +1,149 @@
+// Command servectl is the client for the served control plane.
+//
+//	servectl submit -model opt-13b -batch 32 -requests 640 -wait
+//	servectl status job-000001
+//	servectl list
+//	servectl cancel job-000001
+//	servectl metrics
+//	servectl drain
+//
+// The daemon address comes from -addr (default 127.0.0.1:8080).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "served daemon address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := serve.NewClient(*addr)
+	var err error
+	switch args[0] {
+	case "submit":
+		err = runSubmit(c, args[1:])
+	case "status":
+		err = needID(args, func(id string) error { return printJob(c.Job(id)) })
+	case "cancel":
+		err = needID(args, func(id string) error { return printJob(c.Cancel(id)) })
+	case "list":
+		err = runList(c)
+	case "metrics":
+		var m serve.Metrics
+		if m, err = c.Metrics(); err == nil {
+			err = printJSON(m)
+		}
+	case "drain":
+		var m serve.Metrics
+		if m, err = c.Drain(); err == nil {
+			fmt.Printf("draining (queue depth %d, running %d)\n", m.QueueDepth, m.Running)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "servectl: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "servectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: servectl [-addr host:port] <command>
+
+commands:
+  submit  -model M -batch B -requests N [-workload W] [-priority P]
+          [-deadline S] [-theta T] [-method M] [-prompt L] [-out L]
+          [-seed S] [-wait]
+  status  <job-id>
+  cancel  <job-id>
+  list
+  metrics
+  drain`)
+}
+
+func needID(args []string, fn func(string) error) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%s requires exactly one job id", args[0])
+	}
+	return fn(args[1])
+}
+
+func runSubmit(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		model    = fs.String("model", "opt-13b", "model architecture")
+		wk       = fs.String("workload", "fixed", "workload: fixed | summarization | longcontext | chat")
+		batch    = fs.Int("batch", 32, "concurrent requests B")
+		prompt   = fs.Int("prompt", 512, "prompt length (fixed workload)")
+		out      = fs.Int("out", 32, "output tokens (fixed workload)")
+		seed     = fs.Uint64("seed", 1, "workload sampling seed")
+		requests = fs.Int("requests", 0, "total request volume (required)")
+		priority = fs.Int("priority", 0, "queue priority (higher runs first)")
+		deadline = fs.Float64("deadline", 0, "relative deadline in seconds (0 = none)")
+		theta    = fs.Float64("theta", 0, "quality scalar θ override (0 = server default)")
+		method   = fs.String("method", "", "planner override (empty = server default)")
+		wait     = fs.Bool("wait", false, "poll until the job finishes")
+	)
+	fs.Parse(args)
+	if *requests <= 0 {
+		return fmt.Errorf("submit: -requests is required and must be positive")
+	}
+	v, err := c.Submit(serve.JobSpec{
+		Model: *model, Workload: *wk, Batch: *batch, Prompt: *prompt, Output: *out,
+		Seed: *seed, Requests: *requests, Priority: *priority,
+		DeadlineSeconds: *deadline, Theta: *theta, Method: *method,
+	})
+	if err != nil {
+		return err
+	}
+	if *wait {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		if v, err = c.Wait(ctx, v.ID, 200*time.Millisecond); err != nil {
+			return err
+		}
+	}
+	return printJSON(v)
+}
+
+func runList(c *serve.Client) error {
+	jobs, err := c.List()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-10s %-14s %-12s %10s %12s %s\n",
+		"id", "state", "model", "pool", "batches", "tkn/s", "plan")
+	for _, j := range jobs {
+		fmt.Printf("%-12s %-10s %-14s %-12s %6d/%-3d %12.1f %s\n",
+			j.ID, j.State, j.Spec.Model, j.Resource, j.BatchesDone, j.BatchesTotal, j.Throughput, j.Plan)
+	}
+	return nil
+}
+
+func printJob(v serve.JobView, err error) error {
+	if err != nil {
+		return err
+	}
+	return printJSON(v)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

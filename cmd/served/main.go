@@ -1,0 +1,120 @@
+// Command served runs the offline batch-serving control plane: a daemon
+// that accepts SplitQuant jobs over HTTP, admits only jobs that can fit
+// some pool, plans them (reusing a persistent plan cache), and executes
+// batches on the simulated fleet.
+//
+//	served -listen 127.0.0.1:8080 -state /var/lib/splitquant \
+//	       -pools "t4v100:5:0.6,v100x4:9:0.9"
+//
+// Pools are name:preset:availability triples over the paper's Table III
+// cluster presets. SIGINT/SIGTERM drains gracefully: in-flight batches
+// finish, queued jobs are canceled, and the plan cache is persisted so a
+// restarted daemon serves repeat jobs warm. Submit work with servectl or
+// plain curl:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d \
+//	  '{"model":"opt-13b","batch":32,"requests":640}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		state   = flag.String("state", "", "state directory for the persisted plan cache (empty = in-memory only)")
+		pools   = flag.String("pools", "pool5:5:1", "resource pools: name:preset:availability,... (preset 1-10 of Table III)")
+		workers = flag.Int("workers", 0, "executor concurrency (0 = one worker per pool)")
+		method  = flag.String("method", "heuristic", "default planner: ilp | heuristic | adabits | uniform | het")
+		theta   = flag.Float64("theta", 1, "default quality scalar θ")
+		cacheN  = flag.Int("cache", 256, "plan cache capacity (plans)")
+		queueN  = flag.Int("queue", 1024, "job queue capacity")
+	)
+	flag.Parse()
+
+	resources, err := parsePools(*pools)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Resources:     resources,
+		Workers:       *workers,
+		StateDir:      *state,
+		CacheCapacity: *cacheN,
+		QueueCapacity: *queueN,
+		Planner:       core.Options{Method: core.Method(*method), Theta: *theta},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("served: listening on %s (%d pools, cache %d", addr, len(resources), *cacheN)
+	if *state != "" {
+		fmt.Printf(", state %s", *state)
+	}
+	fmt.Println(")")
+	for _, r := range resources {
+		fmt.Printf("  pool %-12s %-26s availability %.0f%%\n", r.Name, r.Cluster, r.Availability*100)
+	}
+
+	// SIGINT/SIGTERM drains: finish in-flight batches, persist the cache.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("served: draining (in-flight batches finish, cache persists)")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("served: stopped — %d completed, %d failed, %d canceled, cache %d entries (%d hits / %d misses)\n",
+		m.Completed, m.Failed, m.Canceled, m.CacheEntries, m.CacheHits, m.CacheMisses)
+}
+
+// parsePools parses name:preset:availability triples.
+func parsePools(spec string) ([]scheduler.Resource, error) {
+	var out []scheduler.Resource
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad pool spec %q (want name:preset:availability)", part)
+		}
+		preset, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad preset in %q: %w", part, err)
+		}
+		clu, err := cluster.Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		avail, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad availability in %q: %w", part, err)
+		}
+		out = append(out, scheduler.Resource{Name: fields[0], Cluster: clu, Availability: avail})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "served:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "planner worker goroutines (0 = all CPUs, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "print live planning progress to stderr")
 		asJSON    = flag.Bool("json", false, "emit the plan as JSON")
+		planOut   = flag.String("o", "", "also write the reloadable plan (planner wire format) to this file")
 		list      = flag.Bool("models", false, "list model architectures and exit")
 	)
 	flag.Parse()
@@ -93,6 +94,19 @@ func main() {
 	}
 	if *progress {
 		fmt.Fprintln(os.Stderr)
+	}
+	if *planOut != "" {
+		f, err := os.Create(*planOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := dep.WritePlanJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if *asJSON {
 		if err := dep.WriteJSON(os.Stdout); err != nil {

@@ -22,6 +22,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/tinyllm"
@@ -44,11 +46,12 @@ func main() {
 		tokens = flag.Int("tokens", 16, "-drive/-demo: tokens to generate")
 		stages = flag.Int("stages", 3, "-demo: stage count")
 		bits   = flag.String("bits", "", "per-layer bitwidths, comma-separated (empty = FP16)")
+		ioTO   = flag.Duration("io-timeout", 0, "per-message IO deadline on stage connections (0 = none)")
 	)
 	flag.Parse()
 	switch {
 	case *serve:
-		runServe(*layers, *listen, *bits)
+		runServe(*layers, *listen, *bits, *ioTO)
 	case *drive:
 		runDrive(*chain, *tokens)
 	case *demo:
@@ -78,7 +81,7 @@ func parseBits(s string) ([]int, error) {
 	return out, nil
 }
 
-func runServe(layerSpec, listen, bitSpec string) {
+func runServe(layerSpec, listen, bitSpec string, ioTimeout time.Duration) {
 	var lo, hi int
 	if _, err := fmt.Sscanf(layerSpec, "%d:%d", &lo, &hi); err != nil {
 		fatal(fmt.Errorf("bad -layers %q: %w", layerSpec, err))
@@ -91,15 +94,21 @@ func runServe(layerSpec, listen, bitSpec string) {
 	if err != nil {
 		fatal(err)
 	}
+	s.SetIOTimeout(ioTimeout)
 	addr, err := s.Listen(listen)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("stage [%d:%d) serving on %s\n", lo, hi, addr)
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, close open
+	// connections, and drain in-flight handlers before exiting.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	s.Close()
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("stage [%d:%d) shutting down on %v\n", lo, hi, got)
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func runDrive(chain string, tokens int) {

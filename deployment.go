@@ -172,6 +172,18 @@ type deploymentJSON struct {
 	Stages            []StageInfo `json:"stages"`
 }
 
+// WritePlanJSON serializes the raw deployment plan (indented) to w in
+// the planner's wire format: stages keyed by device identity, per-layer
+// bitwidths, micro-batch sizes, and solver metadata. Unlike WriteJSON —
+// a human-oriented summary — this format round-trips: the `served`
+// control plane persists exactly these bytes in its plan cache and
+// rebinds them to a live cluster on reload.
+func (d *Deployment) WritePlanJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d.plan)
+}
+
 // WriteJSON serializes the deployment (indented) to w.
 func (d *Deployment) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

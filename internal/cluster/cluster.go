@@ -168,6 +168,22 @@ func (c *Cluster) String() string {
 	return strings.Join(parts, " + ")
 }
 
+// Fingerprint returns a deterministic signature of everything that
+// influences planning on this cluster: node identities, device classes
+// and counts, derating scales, and the interconnect bandwidths. Two
+// clusters with equal fingerprints produce identical plans for identical
+// inputs, which makes the fingerprint a safe plan-cache key component.
+// Node names are included because serialized plans rebind devices by ID,
+// and device IDs embed the node name.
+func (c *Cluster) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bw=%.6g", c.InterBW)
+	for _, n := range c.Nodes {
+		fmt.Fprintf(&b, "|%s:%s:%d:%.6g:%.4g:%.4g", n.Name, n.Class, n.Count, n.IntraBW, n.SpeedScale, n.MemScale)
+	}
+	return b.String()
+}
+
 // Meshes enumerates the placeable device sets the optimizer considers:
 // degree-1 devices plus intra-node TP groups of sizes that evenly divide
 // a node's GPU count (2D meshes per §IV-C, restricted to node

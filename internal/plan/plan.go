@@ -83,6 +83,11 @@ func (p *Plan) Validate(layers int) error {
 		if len(s.Bits) == 0 {
 			return fmt.Errorf("plan: stage %d is empty", i)
 		}
+		if s.Device.Spec == nil {
+			// A deserialized plan carries device identity only; it must be
+			// rebound to a live cluster before it can be executed.
+			return fmt.Errorf("plan: stage %d device %s is unbound (deserialized plan — call Bind first)", i, s.Device.ID)
+		}
 		if s.FirstLayer != next {
 			return fmt.Errorf("plan: stage %d starts at layer %d, want %d", i, s.FirstLayer, next)
 		}

@@ -174,6 +174,12 @@ func Build(ctx context.Context, jobs []Job, resources []Resource, opts Options) 
 			}
 			p, _, err := a.Plan(ctx, job.Batch)
 			if err != nil {
+				// A canceled context surfaces as a plan error on every
+				// pairing; distinguish it from genuine infeasibility so
+				// cancellation doesn't masquerade as "nothing fits".
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				continue // infeasible pairing
 			}
 			sim, err := pipeline.Simulate(p, spec, res.Cluster, job.Batch)

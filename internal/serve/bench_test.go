@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeThroughput measures end-to-end jobs/sec through the
+// control plane (submit → plan → simulate → complete), comparing a cold
+// plan cache (every job plans fresh) against a warm one (every job hits).
+func BenchmarkServeThroughput(b *testing.B) {
+	run := func(b *testing.B, warm bool) {
+		cfg := testConfig("")
+		cfg.CacheCapacity = b.N + 2
+		cfg.QueueCapacity = b.N + 2
+		srv, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+
+		spec := JobSpec{Model: "opt-1.3b", Batch: 8, Requests: 8}
+		wait := func(id string) {
+			for {
+				v, err := srv.Job(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.State.terminal() {
+					if v.State != StateCompleted {
+						b.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+					}
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if warm {
+			v, err := srv.Submit(spec) // prime the cache
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait(v.ID)
+		}
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := spec
+			if !warm {
+				// Unique prompt length per job forces a distinct cache key,
+				// so every iteration pays a full planner search.
+				s.Prompt = 256 + i%512
+			}
+			v, err := srv.Submit(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait(v.ID)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+		hits, misses := srv.cache.Stats()
+		if warm && hits < uint64(b.N) {
+			b.Fatalf("warm run should hit the cache every job: %d hits / %d misses", hits, misses)
+		}
+	}
+	b.Run("cold-cache", func(b *testing.B) { run(b, false) })
+	b.Run("warm-cache", func(b *testing.B) { run(b, true) })
+}

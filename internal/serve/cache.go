@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// PlanCache is an LRU cache of serialized deployment plans keyed by
+// (model, cluster fingerprint, batch shape, θ, method, bits, KV bits).
+// Values are the planner wire format of internal/plan, kept serialized
+// so the cache persists to disk byte-for-byte and every consumer rebinds
+// the plan to its own live cluster.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	index    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+// cacheEntry is one persisted cache slot.
+type cacheEntry struct {
+	Key  string          `json:"key"`
+	Plan json.RawMessage `json:"plan"`
+}
+
+// cacheFile is the on-disk snapshot: entries from most to least recently
+// used, so a load/save round trip preserves eviction order.
+type cacheFile struct {
+	Entries []cacheEntry `json:"entries"`
+}
+
+// NewPlanCache builds a cache holding at most capacity plans (≤ 0 means
+// the default of 128).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &PlanCache{capacity: capacity, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// Get returns the serialized plan for key, marking it most recently
+// used. The second result reports whether the key was present; the hit
+// and miss counters feed the server metrics.
+func (c *PlanCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).Plan, true
+}
+
+// Put stores a serialized plan, evicting the least recently used entry
+// beyond capacity.
+func (c *PlanCache) Put(key string, plan json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*cacheEntry).Plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.ll.PushFront(&cacheEntry{Key: key, Plan: plan})
+	for c.ll.Len() > c.capacity {
+		lru := c.ll.Back()
+		c.ll.Remove(lru)
+		delete(c.index, lru.Value.(*cacheEntry).Key)
+	}
+}
+
+// Drop removes a key (used when a cached plan fails to rebind, e.g.
+// after a pool's cluster definition changed under an unchanged name).
+func (c *PlanCache) Drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.ll.Remove(el)
+		delete(c.index, key)
+	}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the lifetime hit and miss counts of this process.
+func (c *PlanCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Save writes the cache snapshot atomically (temp file + rename).
+func (c *PlanCache) Save(path string) error {
+	c.mu.Lock()
+	var f cacheFile
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		f.Entries = append(f.Entries, *el.Value.(*cacheEntry))
+	}
+	c.mu.Unlock()
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load restores a snapshot written by Save. A missing file is not an
+// error (first start); a corrupt file is.
+func (c *PlanCache) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("serve: corrupt plan cache %s: %w", path, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Entries are saved MRU-first; inserting in reverse restores order.
+	for i := len(f.Entries) - 1; i >= 0; i-- {
+		e := f.Entries[i]
+		if _, ok := c.index[e.Key]; ok {
+			continue
+		}
+		c.index[e.Key] = c.ll.PushFront(&cacheEntry{Key: e.Key, Plan: e.Plan})
+		for c.ll.Len() > c.capacity {
+			lru := c.ll.Back()
+			c.ll.Remove(lru)
+			delete(c.index, lru.Value.(*cacheEntry).Key)
+		}
+	}
+	return nil
+}

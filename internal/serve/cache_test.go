@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func raw(s string) json.RawMessage { return json.RawMessage(fmt.Sprintf("%q", s)) }
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("a", raw("A"))
+	c.Put("b", raw("B"))
+	if _, ok := c.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", raw("C")) // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	if got, _ := c.Get("c"); string(got) != `"C"` {
+		t.Fatalf("c = %s", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses", hits, misses)
+	}
+
+	// Re-putting an existing key updates in place without eviction.
+	c.Put("a", raw("A2"))
+	if got, _ := c.Get("a"); string(got) != `"A2"` {
+		t.Fatalf("a after update = %s", got)
+	}
+	c.Drop("a")
+	if _, ok := c.Get("a"); ok || c.Len() != 1 {
+		t.Fatal("drop should remove the entry")
+	}
+}
+
+func TestPlanCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "cache.json")
+
+	c := NewPlanCache(4)
+	c.Put("old", raw("O"))
+	c.Put("mid", raw("M"))
+	c.Put("new", raw("N")) // order LRU→MRU: old, mid, new
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache of capacity 2 keeps only the two most recently used.
+	c2 := NewPlanCache(2)
+	if err := c2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("len after capped load = %d", c2.Len())
+	}
+	if _, ok := c2.Get("old"); ok {
+		t.Fatal("LRU entry should not survive a capped load")
+	}
+	for _, k := range []string{"mid", "new"} {
+		if _, ok := c2.Get(k); !ok {
+			t.Fatalf("%s should survive the round trip", k)
+		}
+	}
+
+	// Loading into a warm cache does not clobber newer entries.
+	c3 := NewPlanCache(4)
+	c3.Put("new", raw("N-live"))
+	if err := c3.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c3.Get("new"); string(got) != `"N-live"` {
+		t.Fatalf("live entry clobbered by load: %s", got)
+	}
+
+	// Missing file is a clean first start; corrupt file is an error.
+	if err := NewPlanCache(2).Load(filepath.Join(dir, "nope.json")); err != nil {
+		t.Fatalf("missing snapshot should not error: %v", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPlanCache(2).Load(bad); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt snapshot: got %v", err)
+	}
+
+	// Save leaves no temp droppings behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// StatusError is an HTTP-level API failure (non-2xx response).
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: %s (http %d)", e.Message, e.Code)
+}
+
+// Client talks to a served daemon's HTTP API. It backs cmd/servectl and
+// the end-to-end tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at base ("host:port" or a
+// full http:// URL).
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// do issues one request and decodes the JSON response into out.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+		}
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit submits a job.
+func (c *Client) Submit(spec JobSpec) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodPost, "/v1/jobs", spec, &v)
+	return v, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// List fetches all jobs in submission order.
+func (c *Client) List() ([]JobView, error) {
+	var out struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	err := c.do(http.MethodGet, "/v1/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id string) (JobView, error) {
+	var v JobView
+	err := c.do(http.MethodDelete, "/v1/jobs/"+id, nil, &v)
+	return v, err
+}
+
+// Metrics fetches the server counters.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	err := c.do(http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Drain asks the server to stop admitting jobs.
+func (c *Client) Drain() (Metrics, error) {
+	var m Metrics
+	err := c.do(http.MethodPost, "/v1/drain", nil, &m)
+	return m, err
+}
+
+// Wait polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobView, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		v, err := c.Job(id)
+		if err != nil {
+			return v, err
+		}
+		if v.State.terminal() {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

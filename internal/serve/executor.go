@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/plan"
+	"repro/internal/quant"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// worker drains the queue; each worker owns one resource pool, so the
+// executor's concurrency is bounded by the fleet size.
+func (s *Server) worker(idx int) {
+	defer s.workers.Done()
+	res := &s.cfg.Resources[idx%len(s.cfg.Resources)]
+	for {
+		j := s.nextJob(res)
+		if j == nil {
+			return
+		}
+		s.execute(j, res)
+	}
+}
+
+// nextJob blocks until a queued job this worker's pool has not already
+// proven infeasible is available (returning it in planning state) or
+// the server stops (returning nil). Jobs already tried on this pool are
+// left queued for the other workers.
+func (s *Server) nextJob(res *scheduler.Resource) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		var picked *job
+		var skipped []*job
+		for s.queue.Len() > 0 {
+			j := heap.Pop(&s.queue).(*job)
+			if j.state != StateQueued {
+				continue // canceled while queued
+			}
+			if j.tried[res.Name] {
+				skipped = append(skipped, j)
+				continue
+			}
+			picked = j
+			break
+		}
+		for _, j := range skipped {
+			heap.Push(&s.queue, j)
+		}
+		if picked != nil {
+			picked.state = StatePlanning
+			if picked.started.IsZero() {
+				picked.started = time.Now()
+			}
+			return picked
+		}
+		if s.stopping {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// jobOptions derives the planner options for one job from the server
+// base configuration plus per-job overrides.
+func (s *Server) jobOptions(j *job) core.Options {
+	opts := s.cfg.Planner
+	if j.spec.Theta > 0 {
+		opts.Theta = j.spec.Theta
+	}
+	if j.spec.Method != "" {
+		opts.Method = core.Method(j.spec.Method)
+	}
+	opts.Progress = nil // per-config progress is not surfaced per job
+	return opts
+}
+
+// cacheKey renders the plan-cache key for one (job, resource) pairing.
+// Everything that influences the planner's decision is included, so a
+// hit is guaranteed to reproduce the plan a fresh search would find.
+func cacheKey(modelName, fingerprint string, batch workload.Batch, opts core.Options) string {
+	return fmt.Sprintf("%s|%s|B%d.s%d.k%d.n%d.r%d|theta=%.6g|%s|bits=%v|kv=%d",
+		modelName, fingerprint, batch.Size, batch.ChunkLen, batch.Chunks, batch.GenTokens, batch.Reserve(),
+		opts.Theta, opts.Method, opts.Bits, opts.BitKV)
+}
+
+// execute plans (via the cache) and runs one job on one resource.
+func (s *Server) execute(j *job, res *scheduler.Resource) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	s.mu.Lock()
+	if j.cancelRequested {
+		s.finishLocked(j, StateCanceled, "canceled")
+		s.mu.Unlock()
+		return
+	}
+	j.cancel = cancel
+	j.resource = res.Name
+	expired := !j.deadline.IsZero() && time.Now().After(j.deadline)
+	s.mu.Unlock()
+	if expired {
+		s.fail(j, fmt.Errorf("deadline exceeded before execution"))
+		return
+	}
+
+	opts := s.jobOptions(j)
+	key := cacheKey(j.mspec.Name, res.Cluster.Fingerprint(), j.batch, opts)
+	p, hit, planSec, err := s.planFor(ctx, j, res, key, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			s.cancelFinished(j)
+			return
+		}
+		if s.retryElsewhere(j, res, err) {
+			return
+		}
+		s.fail(j, err)
+		return
+	}
+
+	sim, err := pipeline.Simulate(p, j.mspec, res.Cluster, j.batch)
+	if err != nil {
+		if s.retryElsewhere(j, res, err) {
+			return
+		}
+		s.fail(j, err)
+		return
+	}
+
+	total := j.batches()
+	s.mu.Lock()
+	j.state = StateRunning
+	j.cacheHit = hit
+	j.planStr = p.String()
+	j.planSeconds = planSec
+	j.batchesTotal = total
+	j.throughput = sim.Throughput
+	s.met.PlanSeconds += planSec
+	s.mu.Unlock()
+
+	// Batches execute sequentially on the pool; each iteration is one
+	// simulated batch, so cancellation lands on a batch boundary
+	// ("finish in-flight batches" during drains).
+	perBatch := sim.TotalSeconds / res.Availability
+	for b := 0; b < total; b++ {
+		if ctx.Err() != nil {
+			s.cancelFinished(j)
+			return
+		}
+		s.mu.Lock()
+		j.batchesDone = b + 1
+		j.simSeconds += perBatch
+		s.met.SimSeconds += perBatch
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.finishLocked(j, StateCompleted, "")
+	s.mu.Unlock()
+}
+
+// planFor returns a plan for the pairing, consulting the cache first.
+// On a miss the fresh plan is serialized into the cache. Cached plans
+// that no longer rebind or validate (stale pool definition) are dropped
+// and replanned.
+func (s *Server) planFor(ctx context.Context, j *job, res *scheduler.Resource, key string, opts core.Options) (*plan.Plan, bool, float64, error) {
+	if raw, ok := s.cache.Get(key); ok {
+		var p plan.Plan
+		if err := json.Unmarshal(raw, &p); err == nil {
+			if err := p.Bind(res.Cluster); err == nil {
+				if err := p.Validate(j.mspec.Layers); err == nil {
+					return &p, true, 0, nil
+				}
+			}
+		}
+		s.cache.Drop(key)
+	}
+	ind := core.ProfileIndicator(j.mspec, opts.Bits, quant.Deterministic)
+	a, err := core.New(j.mspec, res.Cluster, ind, opts)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	t0 := time.Now()
+	p, _, err := a.Plan(ctx, j.batch)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	s.cache.Put(key, raw)
+	return p, false, time.Since(t0).Seconds(), nil
+}
+
+// retryElsewhere requeues a job whose planning or simulation proved
+// infeasible on this pool, so a differently sized pool can try it;
+// admission only guarantees the job fits *some* pool. Returns false —
+// leaving the caller to fail the job — once every pool has been tried,
+// for non-capacity errors, or when the server is stopping.
+func (s *Server) retryElsewhere(j *job, res *scheduler.Resource, err error) bool {
+	if !errors.Is(err, core.ErrInfeasible) && !errors.Is(err, pipeline.ErrOOM) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.tried == nil {
+		j.tried = map[string]bool{}
+	}
+	j.tried[res.Name] = true
+	if len(j.tried) >= len(s.cfg.Resources) || s.stopping {
+		return false
+	}
+	if j.cancelRequested {
+		s.finishLocked(j, StateCanceled, "canceled")
+		return true
+	}
+	j.state = StateQueued
+	j.resource = ""
+	j.cancel = nil
+	heap.Push(&s.queue, j)
+	s.cond.Broadcast()
+	return true
+}
+
+// fail moves a job to failed.
+func (s *Server) fail(j *job, err error) {
+	s.mu.Lock()
+	s.finishLocked(j, StateFailed, err.Error())
+	s.mu.Unlock()
+}
+
+// cancelFinished moves a canceled in-flight job to its terminal state.
+func (s *Server) cancelFinished(j *job) {
+	s.mu.Lock()
+	s.finishLocked(j, StateCanceled, "canceled")
+	s.mu.Unlock()
+}

@@ -1,0 +1,409 @@
+// Package serve is the offline batch-serving control plane over the
+// SplitQuant planner: a long-running daemon that accepts jobs (model +
+// workload + request volume) over an HTTP/JSON API, admits only jobs
+// whose memory lower bound fits some resource pool, queues them by
+// priority and deadline, plans each (job, pool) pairing with the
+// core.Assigner — reusing plans through a persistent LRU cache keyed by
+// (model, cluster fingerprint, batch shape, θ, method) — and executes
+// batches on the pipeline simulator across the scheduler's harvested
+// fleet resources. It is the daemon-shaped counterpart of
+// internal/scheduler's one-shot Build: where Build plans a closed job
+// set, serve keeps accepting work, reports per-job progress, and
+// survives restarts warm (the plan cache persists under a state dir).
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/scheduler"
+)
+
+// Sentinel errors. Submission failures wrap one of these so callers can
+// classify them (and the HTTP layer can pick status codes).
+var (
+	// ErrRejected marks submissions that failed admission control.
+	ErrRejected = errors.New("serve: job rejected at admission")
+	// ErrInfeasible marks admission rejections whose cause is the memory
+	// lower bound (the job cannot fit any pool at any bitwidth).
+	ErrInfeasible = core.ErrInfeasible
+	// ErrDraining is returned for submissions while the server drains.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrQueueFull is returned when the job queue is at capacity.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrUnknownJob is returned for lookups of nonexistent job IDs.
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// cacheFileName is the plan-cache snapshot inside Config.StateDir.
+const cacheFileName = "plancache.json"
+
+// Config configures a Server.
+type Config struct {
+	// Resources are the harvested pools jobs execute on (≥ 1 required).
+	Resources []scheduler.Resource
+	// Workers bounds executor concurrency; 0 or anything above the pool
+	// count defaults to one worker per resource (each worker owns one
+	// pool, so concurrency never exceeds the fleet).
+	Workers int
+	// StateDir, when non-empty, holds the persisted plan cache; the
+	// server restores it in New and snapshots it on Shutdown.
+	StateDir string
+	// CacheCapacity bounds the plan cache (default 128 plans).
+	CacheCapacity int
+	// QueueCapacity bounds queued-but-not-started jobs (default 1024).
+	QueueCapacity int
+	// Planner is the base planner configuration applied to every job
+	// (method defaults to the heuristic, θ to 1; per-job spec overrides
+	// take precedence).
+	Planner core.Options
+}
+
+// Metrics is the server counter snapshot served at /v1/metrics.
+type Metrics struct {
+	Submitted int `json:"submitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	// QueueDepth and Running describe the instantaneous pipeline.
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// CacheHits / CacheMisses / CacheEntries describe the plan cache
+	// (hit and miss counts are per process; entries survive restarts).
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	// PlanSeconds and SimSeconds accumulate planner wall-clock and
+	// simulated execution time across completed work.
+	PlanSeconds float64 `json:"plan_seconds"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Draining    bool    `json:"draining"`
+}
+
+// Server is the control-plane instance. Create with New, optionally
+// expose over HTTP with Start, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*job
+	order    []string // job IDs in submission order, for List
+	seq      int
+	draining bool
+	stopping bool
+	met      Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workers    sync.WaitGroup
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+	lis     net.Listener
+}
+
+// New validates the configuration, restores the plan cache from
+// StateDir (when set), and starts the executor workers. The server
+// accepts in-process submissions immediately; call Start to expose the
+// HTTP API.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Resources) == 0 {
+		return nil, fmt.Errorf("serve: no resources configured")
+	}
+	seen := map[string]bool{}
+	for i := range cfg.Resources {
+		if err := cfg.Resources[i].Validate(); err != nil {
+			return nil, err
+		}
+		if seen[cfg.Resources[i].Name] {
+			return nil, fmt.Errorf("serve: duplicate resource %s", cfg.Resources[i].Name)
+		}
+		seen[cfg.Resources[i].Name] = true
+	}
+	if cfg.Planner.Method == "" {
+		cfg.Planner.Method = core.MethodHeuristic
+	}
+	if !core.ValidMethod(cfg.Planner.Method) {
+		return nil, fmt.Errorf("serve: %w %q", core.ErrUnknownMethod, cfg.Planner.Method)
+	}
+	if cfg.Planner.Theta == 0 {
+		cfg.Planner.Theta = 1
+	}
+	if len(cfg.Planner.Bits) == 0 {
+		cfg.Planner.Bits = []int{3, 4, 8, 16}
+	}
+	if cfg.Planner.BitKV == 0 {
+		cfg.Planner.BitKV = 16
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 1024
+	}
+	if cfg.Workers <= 0 || cfg.Workers > len(cfg.Resources) {
+		cfg.Workers = len(cfg.Resources)
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: NewPlanCache(cfg.CacheCapacity),
+		jobs:  map[string]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.StateDir != "" {
+		if err := s.cache.Load(s.cachePath()); err != nil {
+			return nil, err
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker(w)
+	}
+	return s, nil
+}
+
+func (s *Server) cachePath() string { return filepath.Join(s.cfg.StateDir, cacheFileName) }
+
+// Submit admits a job and enqueues it, returning the queued job's view.
+// Rejections wrap ErrRejected (with ErrInfeasible inside for memory
+// rejections), ErrDraining, or ErrQueueFull.
+func (s *Server) Submit(spec JobSpec) (JobView, error) {
+	mspec, err := model.Lookup(spec.Model)
+	if err != nil {
+		return JobView{}, fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+	if spec.Batch <= 0 {
+		return JobView{}, fmt.Errorf("%w: batch %d", ErrRejected, spec.Batch)
+	}
+	if spec.Requests <= 0 {
+		return JobView{}, fmt.Errorf("%w: %d requests", ErrRejected, spec.Requests)
+	}
+	if spec.DeadlineSeconds < 0 {
+		return JobView{}, fmt.Errorf("%w: negative deadline", ErrRejected)
+	}
+	if spec.Method != "" && !core.ValidMethod(core.Method(spec.Method)) {
+		return JobView{}, fmt.Errorf("%w: %w %q", ErrRejected, core.ErrUnknownMethod, spec.Method)
+	}
+	batch, err := buildBatch(spec, mspec)
+	if err != nil {
+		return JobView{}, fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+	if err := admissionCheck(mspec, batch, s.cfg.Planner.Bits, s.cfg.Planner.BitKV, s.cfg.Resources); err != nil {
+		s.mu.Lock()
+		s.met.Rejected++
+		s.mu.Unlock()
+		return JobView{}, fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.stopping {
+		s.met.Rejected++
+		return JobView{}, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueCapacity {
+		s.met.Rejected++
+		return JobView{}, ErrQueueFull
+	}
+	s.seq++
+	now := time.Now()
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		seq:       s.seq,
+		spec:      spec,
+		mspec:     mspec,
+		batch:     batch,
+		submitted: now,
+		state:     StateQueued,
+	}
+	if spec.DeadlineSeconds > 0 {
+		j.deadline = now.Add(time.Duration(spec.DeadlineSeconds * float64(time.Second)))
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	heap.Push(&s.queue, j)
+	s.met.Submitted++
+	s.cond.Signal()
+	return j.view(), nil
+}
+
+// Job returns the current view of one job.
+func (s *Server) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j.view(), nil
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel cancels a job: queued jobs are removed from the queue, running
+// jobs have their planner/executor context canceled. Canceling a
+// finished job is a no-op that returns its final view.
+func (s *Server) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if j.state.terminal() {
+		return j.view(), nil
+	}
+	j.cancelRequested = true
+	if j.state == StateQueued {
+		s.finishLocked(j, StateCanceled, "canceled while queued")
+	} else if j.cancel != nil {
+		j.cancel()
+	}
+	return j.view(), nil
+}
+
+// finishLocked moves a job to a terminal state (caller holds s.mu).
+func (s *Server) finishLocked(j *job, st State, errMsg string) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = st
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	switch st {
+	case StateCompleted:
+		s.met.Completed++
+	case StateFailed:
+		s.met.Failed++
+	case StateCanceled:
+		s.met.Canceled++
+	}
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.met
+	m.Draining = s.draining || s.stopping
+	m.CacheHits, m.CacheMisses = s.cache.Stats()
+	m.CacheEntries = s.cache.Len()
+	m.QueueDepth = 0
+	for _, j := range s.queue {
+		if j.state == StateQueued {
+			m.QueueDepth++
+		}
+	}
+	m.Running = 0
+	for _, j := range s.jobs {
+		if j.state == StatePlanning || j.state == StateRunning {
+			m.Running++
+		}
+	}
+	return m
+}
+
+// Drain stops admitting new jobs; queued and in-flight jobs still run to
+// completion. Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves the HTTP API,
+// returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpMu.Lock()
+	s.lis = lis
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	go srv.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+// Addr returns the bound HTTP address ("" before Start).
+func (s *Server) Addr() string {
+	s.httpMu.Lock()
+	defer s.httpMu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Shutdown drains the server gracefully: new submissions are rejected,
+// still-queued jobs are canceled, in-flight jobs finish their batches,
+// the plan cache is persisted to StateDir, and the HTTP listener (when
+// started) closes. Cancelling ctx aborts in-flight work instead of
+// waiting for it. Idempotent; later calls return the first persist
+// error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return s.waitAndPersist(ctx)
+	}
+	s.stopping = true
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			s.finishLocked(j, StateCanceled, "canceled by shutdown")
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return s.waitAndPersist(ctx)
+}
+
+func (s *Server) waitAndPersist(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight solver/executor work
+		<-done
+	}
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpSrv = nil
+	s.httpMu.Unlock()
+	if srv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}
+	if s.cfg.StateDir != "" {
+		return s.cache.Save(s.cachePath())
+	}
+	return nil
+}

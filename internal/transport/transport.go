@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/quant"
 	"repro/internal/stats"
@@ -46,11 +47,13 @@ type StageServer struct {
 	model  *tinyllm.Model
 	lo, hi int
 
-	mu       sync.Mutex
-	sessions map[uint64]*tinyllm.KVCache
-	lis      net.Listener
-	wg       sync.WaitGroup
-	closed   bool
+	mu        sync.Mutex
+	sessions  map[uint64]*tinyllm.KVCache
+	conns     map[net.Conn]bool
+	lis       net.Listener
+	wg        sync.WaitGroup
+	closed    bool
+	ioTimeout time.Duration
 }
 
 // NewStageServer builds a stage over blocks [lo, hi) of a model
@@ -70,8 +73,15 @@ func NewStageServer(cfg tinyllm.Config, seed uint64, bits []int, lo, hi int) (*S
 	if lo < 0 || hi > cfg.Layers || lo >= hi {
 		return nil, fmt.Errorf("transport: stage range [%d, %d) of %d", lo, hi, cfg.Layers)
 	}
-	return &StageServer{model: m, lo: lo, hi: hi, sessions: map[uint64]*tinyllm.KVCache{}}, nil
+	return &StageServer{model: m, lo: lo, hi: hi,
+		sessions: map[uint64]*tinyllm.KVCache{}, conns: map[net.Conn]bool{}}, nil
 }
+
+// SetIOTimeout bounds each per-message read and write on stage
+// connections; a peer that stalls mid-stream longer than d gets its
+// connection closed instead of pinning a handler goroutine forever.
+// Zero (the default) disables deadlines. Set before Listen.
+func (s *StageServer) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
 
 // Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port)
 // and returns the bound address.
@@ -102,15 +112,34 @@ func (s *StageServer) acceptLoop() {
 }
 
 func (s *StageServer) serveConn(conn net.Conn) {
-	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // connection closed or corrupt
+			return // connection closed, corrupt, or timed out
 		}
 		resp := s.handle(&req)
+		if s.ioTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -143,7 +172,9 @@ func (s *StageServer) handle(req *Request) *Response {
 	return &Response{Rows: out.Rows, Cols: out.Cols, Data: out.Data}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, force-closes open connections (so a silent
+// peer blocked in a read cannot wedge shutdown), and waits for in-flight
+// handlers to drain.
 func (s *StageServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -151,10 +182,17 @@ func (s *StageServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if s.lis != nil {
 		err = s.lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -163,11 +201,25 @@ func (s *StageServer) Close() error {
 // Driver is the master engine: it owns the embeddings and LM head and
 // drives a chain of remote stages.
 type Driver struct {
-	model *tinyllm.Model
-	conns []net.Conn
-	encs  []*gob.Encoder
-	decs  []*gob.Decoder
-	next  uint64
+	model     *tinyllm.Model
+	conns     []net.Conn
+	encs      []*gob.Encoder
+	decs      []*gob.Decoder
+	next      uint64
+	ioTimeout time.Duration
+}
+
+// SetIOTimeout bounds each per-message send and receive against the
+// stage servers; a stage that stops responding fails the generation with
+// a timeout error instead of hanging the driver. Zero (the default)
+// disables deadlines.
+func (d *Driver) SetIOTimeout(t time.Duration) { d.ioTimeout = t }
+
+// deadline arms the per-message deadline on one stage connection.
+func (d *Driver) deadline(i int) {
+	if d.ioTimeout > 0 {
+		d.conns[i].SetDeadline(time.Now().Add(d.ioTimeout))
+	}
 }
 
 // NewDriver reconstructs the master model from (cfg, seed) and connects
@@ -198,6 +250,7 @@ func NewDriver(cfg tinyllm.Config, seed uint64, stageAddrs []string) (*Driver, e
 func (d *Driver) forward(session uint64, x *tensor.Matrix, offset int) (*tensor.Matrix, error) {
 	for i := range d.conns {
 		req := Request{Session: session, Offset: offset, Rows: x.Rows, Cols: x.Cols, Data: x.Data}
+		d.deadline(i)
 		if err := d.encs[i].Encode(&req); err != nil {
 			return nil, fmt.Errorf("transport: stage %d send: %w", i, err)
 		}
@@ -257,6 +310,7 @@ func (d *Driver) Generate(prompt []int, n int) ([]int, error) {
 // closeSession releases stage-side caches.
 func (d *Driver) closeSession(session uint64) {
 	for i := range d.conns {
+		d.deadline(i)
 		if err := d.encs[i].Encode(&Request{Session: session, Close: true}); err != nil {
 			continue
 		}
