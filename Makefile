@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test vet test-race check bench
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: static checks plus the whole suite under the race detector
-# (the planner runs a worker pool; -race keeps it honest). The explicit
-# -timeout raises Go's 10-minute per-package default: the experiments
-# package regenerates every paper table and can exceed it under -race
-# on small CI machines.
-check:
+vet:
 	$(GO) vet ./...
+
+# The whole suite under the race detector (the planner runs a worker
+# pool and the serve executor rotates workers over pools; -race keeps
+# both honest). The explicit -timeout raises Go's 10-minute per-package
+# default: the experiments package regenerates every paper table and can
+# exceed it under -race on small CI machines.
+test-race:
 	$(GO) test -race -timeout 45m ./...
+
+# Full gate: static checks plus the race-enabled suite.
+check: vet test-race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -6,6 +6,13 @@
 //
 //	fleetsim               # default job mix
 //	fleetsim -months 6     # longer trace window
+//	fleetsim -faults       # preemption stress: re-plan on worst-case shrink
+//
+// With -faults, fleetsim derives a seeded preemption schedule from the
+// same trace (the online tier reclaiming devices over the baseline
+// makespan), shrinks every pool by each class's peak concurrent outage,
+// and re-plans the job mix on the degraded fleet to show the makespan
+// cost of surviving the worst instant of the schedule.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -27,6 +35,8 @@ import (
 func main() {
 	months := flag.Int("months", 12, "trace window in months")
 	seed := flag.Uint64("seed", 1, "trace seed")
+	faults := flag.Bool("faults", false, "derive a preemption schedule and re-plan on the worst-case degraded fleet")
+	faultSeed := flag.Uint64("fault-seed", 1, "preemption schedule seed")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -82,6 +92,95 @@ func main() {
 		fmt.Printf("%-20s UNPLACEABLE (no pool fits)\n", id)
 	}
 	fmt.Printf("\nmakespan: %.1fs across %d pools\n", sched.Makespan, len(resources))
+
+	if *faults {
+		if err := replanUnderFaults(ctx, trace, *faultSeed, jobs, resources, sched.Makespan); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// replanUnderFaults derives the preemption schedule the online tier
+// would impose over the baseline makespan, shrinks every pool by each
+// class's peak concurrent outage, and re-plans the job mix on what is
+// left.
+func replanUnderFaults(ctx context.Context, trace *fleet.Trace, seed uint64, jobs []scheduler.Job, resources []scheduler.Resource, baseMakespan float64) error {
+	horizon := time.Duration(baseMakespan * float64(time.Second))
+	if horizon <= 0 {
+		horizon = time.Minute
+	}
+	events, err := trace.Preemptions(stats.NewRNG(seed), fleet.PreemptionOptions{Horizon: horizon, MaxCount: 2})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npreemption schedule over the %.0fs makespan (seed %d):\n", horizon.Seconds(), seed)
+	for _, ev := range events {
+		fmt.Printf("  t=%7.1fs reclaim %d×%-9s for %6.1fs\n",
+			ev.At.Seconds(), ev.Count, ev.Class, ev.Duration.Seconds())
+	}
+	peak := fleet.PeakOutage(events)
+	fmt.Printf("peak concurrent outage:")
+	for _, s := range trace.Shares {
+		if n := peak[s.Class]; n > 0 {
+			fmt.Printf(" %d×%s", n, s.Class)
+		}
+	}
+	fmt.Println()
+
+	// Worst-case degraded fleet: every pool loses its classes' peak
+	// outage (clamped so a pool keeps at least zero devices; fully
+	// emptied pools drop out).
+	var degraded []scheduler.Resource
+	for _, r := range resources {
+		clu := r.Cluster
+		for class, n := range peak {
+			have := clu.ClassCount(class)
+			if have == 0 || n == 0 {
+				continue
+			}
+			take := n
+			if take > have {
+				take = have
+			}
+			if take >= clu.TotalDevices() {
+				clu = nil
+				break
+			}
+			next, err := clu.Shrink(class, take)
+			if err != nil {
+				return err
+			}
+			clu = next
+		}
+		if clu == nil {
+			fmt.Printf("resource %-14s fully reclaimed at peak — dropped\n", r.Name)
+			continue
+		}
+		degraded = append(degraded, scheduler.Resource{Name: r.Name, Cluster: clu, Availability: r.Availability})
+	}
+	if len(degraded) == 0 {
+		return fmt.Errorf("every pool fully reclaimed at peak outage")
+	}
+	for _, r := range degraded {
+		fmt.Printf("degraded %-14s %-26s availability %.0f%%\n", r.Name, r.Cluster, r.Availability*100)
+	}
+
+	sched, err := scheduler.Build(ctx, jobs, degraded, scheduler.Options{
+		Planner: core.Options{Method: core.MethodHeuristic, Theta: 1, OrderingLimit: 4},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%-20s %-14s %10s %12s %10s\n", "job", "resource", "tkn/s", "duration", "plan")
+	for _, a := range sched.Assignments {
+		fmt.Printf("%-20s %-14s %10.1f %11.1fs  %s\n", a.JobID, a.Resource, a.Throughput, a.Duration, a.Plan)
+	}
+	for _, id := range sched.Unplaceable {
+		fmt.Printf("%-20s UNPLACEABLE (no degraded pool fits)\n", id)
+	}
+	fmt.Printf("\ndegraded makespan: %.1fs (baseline %.1fs, %+.0f%%)\n",
+		sched.Makespan, baseMakespan, (sched.Makespan/baseMakespan-1)*100)
+	return nil
 }
 
 func fatal(err error) {

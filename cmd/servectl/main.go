@@ -5,6 +5,9 @@
 //	servectl list
 //	servectl cancel job-000001
 //	servectl metrics
+//	servectl fleet
+//	servectl preempt -pool pool5 -class T4-16G -count 2
+//	servectl restore -pool pool5 -class T4-16G -count 2
 //	servectl drain
 //
 // The daemon address comes from -addr (default 127.0.0.1:8080).
@@ -46,6 +49,12 @@ func main() {
 		if m, err = c.Metrics(); err == nil {
 			err = printJSON(m)
 		}
+	case "fleet":
+		err = runFleet(c)
+	case "preempt":
+		err = runFleetMutation(c, "preempt", args[1:], c.Preempt)
+	case "restore":
+		err = runFleetMutation(c, "restore", args[1:], c.Restore)
 	case "drain":
 		var m serve.Metrics
 		if m, err = c.Drain(); err == nil {
@@ -73,6 +82,9 @@ commands:
   cancel  <job-id>
   list
   metrics
+  fleet
+  preempt -pool P -class C -count N   (reclaim devices, as the online tier would)
+  restore -pool P -class C -count N   (return reclaimed devices)
   drain`)
 }
 
@@ -126,13 +138,61 @@ func runList(c *serve.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %-10s %-14s %-12s %10s %12s %s\n",
-		"id", "state", "model", "pool", "batches", "tkn/s", "plan")
+	fmt.Printf("%-12s %-10s %-14s %-12s %10s %7s %12s %s\n",
+		"id", "state", "model", "pool", "batches", "replans", "tkn/s", "plan")
 	for _, j := range jobs {
-		fmt.Printf("%-12s %-10s %-14s %-12s %6d/%-3d %12.1f %s\n",
-			j.ID, j.State, j.Spec.Model, j.Resource, j.BatchesDone, j.BatchesTotal, j.Throughput, j.Plan)
+		fmt.Printf("%-12s %-10s %-14s %-12s %6d/%-3d %7d %12.1f %s\n",
+			j.ID, j.State, j.Spec.Model, j.Resource, j.BatchesDone, j.BatchesTotal, j.Replans, j.Throughput, j.Plan)
 	}
 	return nil
+}
+
+func runFleet(c *serve.Client) error {
+	pools, err := c.Fleet()
+	if err != nil {
+		return err
+	}
+	printPoolHeader()
+	for _, p := range pools {
+		printPool(p)
+	}
+	return nil
+}
+
+func runFleetMutation(c *serve.Client, name string, args []string, call func(pool, class string, count int) (serve.PoolView, error)) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	pool := fs.String("pool", "", "pool name (required)")
+	class := fs.String("class", "", "device class, e.g. T4-16G (required)")
+	count := fs.Int("count", 1, "device count")
+	fs.Parse(args)
+	if *pool == "" || *class == "" {
+		return fmt.Errorf("%s: -pool and -class are required", name)
+	}
+	p, err := call(*pool, *class, *count)
+	if err != nil {
+		return err
+	}
+	printPoolHeader()
+	printPool(p)
+	return nil
+}
+
+func printPoolHeader() {
+	fmt.Printf("%-14s %-26s %9s %4s %s\n", "pool", "cluster", "devices", "gen", "preempted")
+}
+
+func printPool(p serve.PoolView) {
+	out := ""
+	for class, n := range p.Preempted {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%d×%s", n, class)
+	}
+	if out == "" {
+		out = "-"
+	}
+	fmt.Printf("%-14s %-26s %5d/%-3d %4d %s\n", p.Name, p.Cluster, p.Devices, p.TotalDevices, p.Generation, out)
 }
 
 func printJob(v serve.JobView, err error) error {

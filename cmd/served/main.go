@@ -7,10 +7,13 @@
 //	       -pools "t4v100:5:0.6,v100x4:9:0.9"
 //
 // Pools are name:preset:availability triples over the paper's Table III
-// cluster presets. SIGINT/SIGTERM drains gracefully: in-flight batches
-// finish, queued jobs are canceled, and the plan cache is persisted so a
-// restarted daemon serves repeat jobs warm. Submit work with servectl or
-// plain curl:
+// cluster presets. With -faults the daemon replays a seeded preemption
+// schedule against its own fleet — the online tier reclaiming and
+// returning devices — and running jobs re-plan onto the degraded pools
+// at their next batch boundary. SIGINT/SIGTERM drains gracefully:
+// in-flight batches finish, queued jobs are canceled, and the plan cache
+// is persisted so a restarted daemon serves repeat jobs warm. Submit
+// work with servectl or plain curl:
 //
 //	curl -s -X POST localhost:8080/v1/jobs -d \
 //	  '{"model":"opt-13b","batch":32,"requests":640}'
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -29,8 +33,11 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/gpu"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -43,6 +50,10 @@ func main() {
 		theta   = flag.Float64("theta", 1, "default quality scalar θ")
 		cacheN  = flag.Int("cache", 256, "plan cache capacity (plans)")
 		queueN  = flag.Int("queue", 1024, "job queue capacity")
+
+		faults       = flag.Bool("faults", false, "inject seeded preemption faults (online tier reclaiming devices)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "preemption schedule seed")
+		faultHorizon = flag.Duration("fault-horizon", 2*time.Minute, "preemption schedule window (repeats until shutdown)")
 	)
 	flag.Parse()
 
@@ -74,10 +85,16 @@ func main() {
 		fmt.Printf("  pool %-12s %-26s availability %.0f%%\n", r.Name, r.Cluster, r.Availability*100)
 	}
 
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *faults {
+		fmt.Printf("served: fault injection on (seed %d, window %s)\n", *faultSeed, *faultHorizon)
+		go runFaults(runCtx, srv, *faultSeed, *faultHorizon)
+	}
+
 	// SIGINT/SIGTERM drains: finish in-flight batches, persist the cache.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-runCtx.Done()
+	stop()
 	fmt.Println("served: draining (in-flight batches finish, cache persists)")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -87,6 +104,94 @@ func main() {
 	m := srv.Metrics()
 	fmt.Printf("served: stopped — %d completed, %d failed, %d canceled, cache %d entries (%d hits / %d misses)\n",
 		m.Completed, m.Failed, m.Canceled, m.CacheEntries, m.CacheHits, m.CacheMisses)
+	if m.Preemptions > 0 || m.Replans > 0 {
+		fmt.Printf("served: survived %d preemptions with %d re-plans\n", m.Preemptions, m.Replans)
+	}
+}
+
+// runFaults replays a seeded preemption schedule against the live fleet
+// until ctx is canceled: reclaim/return events derived from the
+// synthetic utilization trace are applied (clamped to what each pool
+// still holds) to every pool containing the event's device class, then
+// the window repeats with a fresh schedule after healing the fleet.
+func runFaults(ctx context.Context, srv *serve.Server, seed uint64, horizon time.Duration) {
+	trace, err := fleet.Generate(stats.NewRNG(seed), fleet.DefaultShares, 12)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "served: faults disabled:", err)
+		return
+	}
+	for window := uint64(0); ctx.Err() == nil; window++ {
+		events, err := trace.Preemptions(stats.NewRNG(seed+window+1), fleet.PreemptionOptions{Horizon: horizon, MaxCount: 2})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "served: faults disabled:", err)
+			return
+		}
+		// Flatten the reclaim/return cycles into one ordered timeline;
+		// returns falling past the horizon are applied by the final Reset.
+		type action struct {
+			at      time.Duration
+			reclaim bool
+			class   gpu.DeviceClass
+			count   int
+		}
+		var timeline []action
+		for _, ev := range events {
+			timeline = append(timeline, action{ev.At, true, ev.Class, ev.Count})
+			if end := ev.At + ev.Duration; end < horizon {
+				timeline = append(timeline, action{end, false, ev.Class, ev.Count})
+			}
+		}
+		sort.Slice(timeline, func(i, j int) bool { return timeline[i].at < timeline[j].at })
+
+		start := time.Now()
+		for _, a := range timeline {
+			if wait := a.at - time.Since(start); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			fl := srv.Fleet()
+			for _, v := range fl.Views() {
+				if v.Capacity[a.class] == 0 {
+					continue
+				}
+				n := a.count
+				if a.reclaim {
+					if free := v.Capacity[a.class] - v.Preempted[a.class]; n > free {
+						n = free
+					}
+					if n <= 0 {
+						continue
+					}
+					if pv, err := fl.Preempt(v.Resource, a.class, n); err == nil {
+						fmt.Printf("served: faults: online tier reclaimed %d×%s from %s (%d/%d devices left)\n",
+							n, a.class, v.Resource, pv.Devices, pv.TotalDevices)
+					}
+				} else {
+					if out := v.Preempted[a.class]; n > out {
+						n = out
+					}
+					if n <= 0 {
+						continue
+					}
+					if pv, err := fl.Restore(v.Resource, a.class, n); err == nil {
+						fmt.Printf("served: faults: online tier returned %d×%s to %s (%d/%d devices)\n",
+							n, a.class, v.Resource, pv.Devices, pv.TotalDevices)
+					}
+				}
+			}
+		}
+		if wait := horizon - time.Since(start); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+		srv.Fleet().Reset()
+	}
 }
 
 // parsePools parses name:preset:availability triples.

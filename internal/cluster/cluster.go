@@ -137,6 +137,56 @@ func (c *Cluster) TotalDevices() int {
 	return t
 }
 
+// ClassCount returns the number of devices of class across all nodes.
+func (c *Cluster) ClassCount(class gpu.DeviceClass) int {
+	t := 0
+	for _, n := range c.Nodes {
+		if n.Class == class {
+			t += n.Count
+		}
+	}
+	return t
+}
+
+// Shrink returns a copy of the cluster with n devices of class removed —
+// the topology left behind when an online workload reclaims harvested
+// GPUs. Devices are taken from the last nodes of the class first, so the
+// surviving devices keep the low indices (serialized plans rebind by
+// device ID, and IDs embed the per-node index); nodes emptied entirely
+// are dropped. It errors when the cluster holds fewer than n devices of
+// the class or when the removal would empty the cluster.
+func (c *Cluster) Shrink(class gpu.DeviceClass, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster %q: shrink by %d devices", c.Name, n)
+	}
+	if have := c.ClassCount(class); n > have {
+		return nil, fmt.Errorf("cluster %q: cannot remove %d %s devices, only %d present", c.Name, n, class, have)
+	}
+	if n >= c.TotalDevices() {
+		return nil, fmt.Errorf("cluster %q: removing %d %s devices would empty the cluster", c.Name, n, class)
+	}
+	nodes := append([]Node(nil), c.Nodes...)
+	remaining := n
+	for i := len(nodes) - 1; i >= 0 && remaining > 0; i-- {
+		if nodes[i].Class != class {
+			continue
+		}
+		take := remaining
+		if take > nodes[i].Count {
+			take = nodes[i].Count
+		}
+		nodes[i].Count -= take
+		remaining -= take
+	}
+	out := &Cluster{Name: c.Name, InterBW: c.InterBW}
+	for _, nd := range nodes {
+		if nd.Count > 0 {
+			out.Nodes = append(out.Nodes, nd)
+		}
+	}
+	return out, nil
+}
+
 // LinkBandwidth returns the bandwidth between two devices: intra-node
 // interconnect when co-located, the inter-node fabric otherwise.
 func (c *Cluster) LinkBandwidth(a, b *Device) float64 {

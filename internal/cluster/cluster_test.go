@@ -205,3 +205,66 @@ func TestTotalDevices(t *testing.T) {
 		t.Fatalf("cluster 1 devices = %d", got)
 	}
 }
+
+func TestShrink(t *testing.T) {
+	// Preset 7: 4×T4 on n0 + 2×V100 on n1.
+	c := MustPreset(7)
+	got, err := c.Shrink(gpu.T4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalDevices() != 4 || got.ClassCount(gpu.T4) != 2 || got.ClassCount(gpu.V100) != 2 {
+		t.Fatalf("shrunk cluster = %s", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("shrunk cluster invalid: %v", err)
+	}
+	if got.Fingerprint() == c.Fingerprint() {
+		t.Fatal("shrink must change the fingerprint (it keys the plan cache)")
+	}
+	// The original is untouched.
+	if c.ClassCount(gpu.T4) != 4 {
+		t.Fatalf("shrink mutated the source cluster: %s", c)
+	}
+	// Surviving devices keep the low per-node indices, so serialized
+	// plans referencing them still rebind.
+	devs := got.Devices()
+	want := map[string]bool{"n0/t4-16g0": true, "n0/t4-16g1": true}
+	for _, d := range devs {
+		delete(want, d.ID)
+	}
+	if len(want) != 0 {
+		t.Fatalf("low-index T4 devices missing after shrink: %v of %v", want, devs)
+	}
+}
+
+func TestShrinkDropsEmptiedNode(t *testing.T) {
+	c := MustPreset(7)
+	got, err := c.Shrink(gpu.V100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Nodes) != 1 || got.ClassCount(gpu.V100) != 0 {
+		t.Fatalf("emptied node should be dropped, got %+v", got.Nodes)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("single-node remainder invalid: %v", err)
+	}
+}
+
+func TestShrinkErrors(t *testing.T) {
+	c := MustPreset(7)
+	if _, err := c.Shrink(gpu.T4, 0); err == nil {
+		t.Fatal("non-positive shrink accepted")
+	}
+	if _, err := c.Shrink(gpu.T4, 5); err == nil {
+		t.Fatal("removing more devices than present accepted")
+	}
+	if _, err := c.Shrink(gpu.A100, 1); err == nil {
+		t.Fatal("removing an absent class accepted")
+	}
+	single := MustPreset(1)
+	if _, err := single.Shrink(gpu.V100, 1); err == nil {
+		t.Fatal("emptying the cluster accepted")
+	}
+}

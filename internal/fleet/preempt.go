@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/stats"
+)
+
+// Preemption is one reclaim-and-return cycle: the online tier takes back
+// Count devices of Class at At (relative to the window start) and
+// returns them Duration later. Harvested capacity is exactly the
+// complement of the utilization Fig. 1 plots, so the online workload's
+// demand spikes surface to the offline tier as these events.
+type Preemption struct {
+	Class    gpu.DeviceClass
+	Count    int
+	At       time.Duration
+	Duration time.Duration
+}
+
+// PreemptionOptions shapes Preemptions.
+type PreemptionOptions struct {
+	// Horizon is the window the schedule spans (required).
+	Horizon time.Duration
+	// MeanEvents is the expected reclaim count over the horizon for a
+	// class running at 50% utilization; each class scales linearly with
+	// its trace utilization (default 4).
+	MeanEvents float64
+	// MaxCount bounds the devices reclaimed per event (default 1).
+	MaxCount int
+}
+
+// Preemptions derives a seeded reclaim/return schedule from the trace:
+// the hotter a class runs in the utilization trace, the more often the
+// online tier reclaims its devices and the longer it keeps them.
+// Inter-arrival gaps and outage durations are exponential, so the
+// schedule is a per-class Poisson process scaled by mean utilization.
+// Events are sorted by reclaim time; a return may extend past the
+// horizon. The same (trace, seed, options) triple always yields the
+// same schedule.
+func (t *Trace) Preemptions(rng *stats.RNG, opts PreemptionOptions) ([]Preemption, error) {
+	if opts.Horizon <= 0 {
+		return nil, fmt.Errorf("fleet: preemption horizon %v", opts.Horizon)
+	}
+	if opts.MeanEvents <= 0 {
+		opts.MeanEvents = 4
+	}
+	if opts.MaxCount <= 0 {
+		opts.MaxCount = 1
+	}
+	horizon := opts.Horizon.Seconds()
+	var out []Preemption
+	for _, s := range t.Shares {
+		util := t.MeanUtil(s.Class)
+		rate := opts.MeanEvents * (util / 0.5) / horizon
+		if rate <= 0 {
+			continue
+		}
+		// The busier the class, the longer the online tier holds on to a
+		// reclaimed device.
+		meanDur := horizon / 8 * (util / 0.5)
+		for at := rng.Exp(rate); at < horizon; at += rng.Exp(rate) {
+			out = append(out, Preemption{
+				Class:    s.Class,
+				Count:    1 + rng.Intn(opts.MaxCount),
+				At:       time.Duration(at * float64(time.Second)),
+				Duration: time.Duration(rng.Exp(1/meanDur) * float64(time.Second)),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out, nil
+}
+
+// PeakOutage returns, per class, the maximum number of devices reclaimed
+// concurrently at any instant of the schedule — the worst-case shrink a
+// planner should expect to survive.
+func PeakOutage(events []Preemption) map[gpu.DeviceClass]int {
+	type edge struct {
+		at    time.Duration
+		delta int
+	}
+	edges := map[gpu.DeviceClass][]edge{}
+	for _, ev := range events {
+		edges[ev.Class] = append(edges[ev.Class],
+			edge{ev.At, ev.Count}, edge{ev.At + ev.Duration, -ev.Count})
+	}
+	peak := map[gpu.DeviceClass]int{}
+	for class, es := range edges {
+		// Process returns before reclaims at equal timestamps so a
+		// back-to-back return/reclaim does not double-count.
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].at != es[j].at {
+				return es[i].at < es[j].at
+			}
+			return es[i].delta < es[j].delta
+		})
+		cur, max := 0, 0
+		for _, e := range es {
+			cur += e.delta
+			if cur > max {
+				max = cur
+			}
+		}
+		peak[class] = max
+	}
+	return peak
+}

@@ -1,0 +1,143 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+)
+
+func twoPoolFleet(t *testing.T) *FleetState {
+	t.Helper()
+	return NewFleetState([]Resource{
+		{Name: "mixed", Cluster: cluster.MustPreset(7), Availability: 0.5}, // 4×T4 + 2×V100
+		{Name: "v100s", Cluster: cluster.MustPreset(9), Availability: 0.8}, // 4×V100
+	})
+}
+
+func TestFleetStatePreemptRestore(t *testing.T) {
+	f := twoPoolFleet(t)
+
+	v, err := f.Snapshot("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Generation != 0 || v.Devices != 6 || v.TotalDevices != 6 || v.Degraded() {
+		t.Fatalf("intact snapshot = %+v", v)
+	}
+
+	v, err = f.Preempt("mixed", gpu.T4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Generation != 1 || v.Devices != 4 || !v.Degraded() {
+		t.Fatalf("degraded view = %+v", v)
+	}
+	if v.Cluster.ClassCount(gpu.T4) != 2 || v.Cluster.ClassCount(gpu.V100) != 2 {
+		t.Fatalf("degraded cluster = %s", v.Cluster)
+	}
+	if v.Preempted[gpu.T4] != 2 || v.Capacity[gpu.T4] != 4 {
+		t.Fatalf("outage bookkeeping = %+v", v)
+	}
+	// The other pool is untouched.
+	if g := f.Generation("v100s"); g != 0 {
+		t.Fatalf("v100s generation = %d", g)
+	}
+
+	// Restore brings the devices and a fresh generation back.
+	v, err = f.Restore("mixed", gpu.T4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Generation != 2 || v.Devices != 6 || v.Degraded() {
+		t.Fatalf("restored view = %+v", v)
+	}
+	if f.Preemptions() != 1 {
+		t.Fatalf("preemption count = %d", f.Preemptions())
+	}
+}
+
+func TestFleetStateFullOutage(t *testing.T) {
+	f := twoPoolFleet(t)
+	if _, err := f.Preempt("v100s", gpu.V100, 4); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Snapshot("v100s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cluster != nil || v.Devices != 0 {
+		t.Fatalf("fully reclaimed pool should expose a nil cluster, got %+v", v)
+	}
+	if _, err := f.Restore("v100s", gpu.V100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f.Snapshot("v100s"); v.Devices != 1 || v.Cluster == nil {
+		t.Fatalf("partial restore = %+v", v)
+	}
+}
+
+func TestFleetStateValidation(t *testing.T) {
+	f := twoPoolFleet(t)
+	if _, err := f.Preempt("nope", gpu.T4, 1); err == nil {
+		t.Fatal("unknown pool accepted")
+	}
+	if _, err := f.Preempt("mixed", gpu.T4, 0); err == nil {
+		t.Fatal("non-positive count accepted")
+	}
+	if _, err := f.Preempt("mixed", gpu.T4, 5); err == nil {
+		t.Fatal("over-reclaim accepted")
+	}
+	if _, err := f.Preempt("mixed", gpu.A100, 1); err == nil {
+		t.Fatal("absent class accepted")
+	}
+	if _, err := f.Restore("mixed", gpu.T4, 1); err == nil {
+		t.Fatal("restore without outage accepted")
+	}
+	if _, err := f.Snapshot("nope"); err == nil {
+		t.Fatal("unknown pool snapshot accepted")
+	}
+}
+
+func TestFleetStateReset(t *testing.T) {
+	f := twoPoolFleet(t)
+	f.Preempt("mixed", gpu.T4, 1)
+	f.Preempt("v100s", gpu.V100, 2)
+	f.Reset()
+	for _, v := range f.Views() {
+		if v.Degraded() {
+			t.Fatalf("pool %s still degraded after reset: %+v", v.Resource, v)
+		}
+	}
+	// Reset bumps the generation of degraded pools so pollers notice.
+	if g := f.Generation("mixed"); g != 2 {
+		t.Fatalf("mixed generation after reset = %d", g)
+	}
+}
+
+// TestFleetStateConcurrent exercises the view under the race detector:
+// injectors preempt/restore while pollers snapshot.
+func TestFleetStateConcurrent(t *testing.T) {
+	f := twoPoolFleet(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := f.Preempt("mixed", gpu.T4, 1); err == nil {
+					f.Restore("mixed", gpu.T4, 1)
+				}
+				f.Snapshot("mixed")
+				f.Generation("v100s")
+				f.Views()
+			}
+		}()
+	}
+	wg.Wait()
+	f.Reset()
+	if v, _ := f.Snapshot("mixed"); v.Devices != 6 {
+		t.Fatalf("devices leaked: %+v", v)
+	}
+}

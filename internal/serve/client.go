@@ -120,6 +120,32 @@ func (c *Client) Drain() (Metrics, error) {
 	return m, err
 }
 
+// Fleet fetches every pool's dynamic availability view.
+func (c *Client) Fleet() ([]PoolView, error) {
+	var out struct {
+		Pools []PoolView `json:"pools"`
+	}
+	err := c.do(http.MethodGet, "/v1/fleet", nil, &out)
+	return out.Pools, err
+}
+
+// Preempt reclaims count devices of class from the pool (chaos/operator
+// control; the daemon's executors re-plan affected jobs at their next
+// batch boundary).
+func (c *Client) Preempt(pool, class string, count int) (PoolView, error) {
+	var v PoolView
+	err := c.do(http.MethodPost, "/v1/fleet/preempt", fleetRequest{Pool: pool, Class: class, Count: count}, &v)
+	return v, err
+}
+
+// Restore returns count previously reclaimed devices of class to the
+// pool.
+func (c *Client) Restore(pool, class string, count int) (PoolView, error) {
+	var v PoolView
+	err := c.do(http.MethodPost, "/v1/fleet/restore", fleetRequest{Pool: pool, Class: class, Count: count}, &v)
+	return v, err
+}
+
 // Wait polls a job until it reaches a terminal state or ctx expires.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobView, error) {
 	if poll <= 0 {

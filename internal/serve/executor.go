@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
@@ -16,57 +17,84 @@ import (
 	"repro/internal/workload"
 )
 
-// worker drains the queue; each worker owns one resource pool, so the
-// executor's concurrency is bounded by the fleet size.
+// worker drains the queue. Workers are not pinned to pools: each
+// iteration claims any idle pool with a runnable job (preferring the
+// pool at the worker's own offset for spread), so every pool is served
+// even when Config.Workers is below the pool count. At most one job runs
+// per pool at a time.
 func (s *Server) worker(idx int) {
 	defer s.workers.Done()
-	res := &s.cfg.Resources[idx%len(s.cfg.Resources)]
 	for {
-		j := s.nextJob(res)
+		j, res := s.nextJob(idx)
 		if j == nil {
 			return
 		}
 		s.execute(j, res)
+		s.releasePool(res)
 	}
 }
 
-// nextJob blocks until a queued job this worker's pool has not already
-// proven infeasible is available (returning it in planning state) or
-// the server stops (returning nil). Jobs already tried on this pool are
-// left queued for the other workers.
-func (s *Server) nextJob(res *scheduler.Resource) *job {
+// nextJob blocks until some queued job has an idle pool that has not
+// already proven infeasible for it, claims the pool (marking it busy),
+// and returns the pairing with the job in planning state — or (nil, nil)
+// once the server stops. Jobs whose untried pools are all busy stay
+// queued; releasePool re-wakes the workers when a pool frees up.
+func (s *Server) nextJob(start int) (*job, *scheduler.Resource) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		var picked *job
+		var pool *scheduler.Resource
 		var skipped []*job
 		for s.queue.Len() > 0 {
 			j := heap.Pop(&s.queue).(*job)
 			if j.state != StateQueued {
 				continue // canceled while queued
 			}
-			if j.tried[res.Name] {
-				skipped = append(skipped, j)
-				continue
+			if r := s.idlePoolFor(j, start); r != nil {
+				picked, pool = j, r
+				break
 			}
-			picked = j
-			break
+			skipped = append(skipped, j)
 		}
 		for _, j := range skipped {
 			heap.Push(&s.queue, j)
 		}
 		if picked != nil {
+			s.busy[pool.Name] = true
 			picked.state = StatePlanning
 			if picked.started.IsZero() {
 				picked.started = time.Now()
 			}
-			return picked
+			return picked, pool
 		}
 		if s.stopping {
-			return nil
+			return nil, nil
 		}
 		s.cond.Wait()
 	}
+}
+
+// idlePoolFor returns an idle pool the job has not yet been tried on,
+// scanning from the start offset (caller holds s.mu).
+func (s *Server) idlePoolFor(j *job, start int) *scheduler.Resource {
+	n := len(s.cfg.Resources)
+	for k := 0; k < n; k++ {
+		r := &s.cfg.Resources[(start+k)%n]
+		if !s.busy[r.Name] && !j.tried[r.Name] {
+			return r
+		}
+	}
+	return nil
+}
+
+// releasePool frees a pool claimed by nextJob and re-wakes the workers:
+// a job may have been waiting for exactly this pool.
+func (s *Server) releasePool(res *scheduler.Resource) {
+	s.mu.Lock()
+	s.busy[res.Name] = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // jobOptions derives the planner options for one job from the server
@@ -83,16 +111,24 @@ func (s *Server) jobOptions(j *job) core.Options {
 	return opts
 }
 
-// cacheKey renders the plan-cache key for one (job, resource) pairing.
+// cacheKey renders the plan-cache key for one (job, cluster) pairing.
 // Everything that influences the planner's decision is included, so a
-// hit is guaranteed to reproduce the plan a fresh search would find.
+// hit is guaranteed to reproduce the plan a fresh search would find. The
+// fingerprint is the *current* cluster's — a degraded pool caches its
+// plans under its own degraded fingerprint.
 func cacheKey(modelName, fingerprint string, batch workload.Batch, opts core.Options) string {
 	return fmt.Sprintf("%s|%s|B%d.s%d.k%d.n%d.r%d|theta=%.6g|%s|bits=%v|kv=%d",
 		modelName, fingerprint, batch.Size, batch.ChunkLen, batch.Chunks, batch.GenTokens, batch.Reserve(),
 		opts.Theta, opts.Method, opts.Bits, opts.BitKV)
 }
 
-// execute plans (via the cache) and runs one job on one resource.
+// execute plans (via the cache) and runs one job on one resource,
+// surviving preemption: batches run against the pool's *current*
+// availability snapshot, and when the fleet view's generation moves at a
+// batch boundary the executor checkpoints batchesDone and re-plans the
+// remaining batches on the degraded (or restored) cluster. Only when the
+// shrunken pool cannot run the job at all does it fall back to
+// retryElsewhere.
 func (s *Server) execute(j *job, res *scheduler.Resource) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	defer cancel()
@@ -113,69 +149,111 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 	}
 
 	opts := s.jobOptions(j)
-	key := cacheKey(j.mspec.Name, res.Cluster.Fingerprint(), j.batch, opts)
-	p, hit, planSec, err := s.planFor(ctx, j, res, key, opts)
-	if err != nil {
-		if errors.Is(err, context.Canceled) || ctx.Err() != nil {
-			s.cancelFinished(j)
-			return
-		}
-		if s.retryElsewhere(j, res, err) {
-			return
-		}
-		s.fail(j, err)
-		return
-	}
-
-	sim, err := pipeline.Simulate(p, j.mspec, res.Cluster, j.batch)
-	if err != nil {
-		if s.retryElsewhere(j, res, err) {
-			return
-		}
-		s.fail(j, err)
-		return
-	}
-
 	total := j.batches()
-	s.mu.Lock()
-	j.state = StateRunning
-	j.cacheHit = hit
-	j.planStr = p.String()
-	j.planSeconds = planSec
-	j.batchesTotal = total
-	j.throughput = sim.Throughput
-	s.met.PlanSeconds += planSec
-	s.mu.Unlock()
 
-	// Batches execute sequentially on the pool; each iteration is one
-	// simulated batch, so cancellation lands on a batch boundary
-	// ("finish in-flight batches" during drains).
-	perBatch := sim.TotalSeconds / res.Availability
-	for b := 0; b < total; b++ {
-		if ctx.Err() != nil {
-			s.cancelFinished(j)
+	for attempt := 0; ; attempt++ {
+		snap, err := s.fleet.Snapshot(res.Name)
+		if err != nil {
+			s.fail(j, err)
 			return
 		}
+		if snap.Cluster == nil {
+			err := fmt.Errorf("pool %s fully preempted: %w", res.Name, core.ErrInfeasible)
+			if s.retryElsewhere(j, res, err) {
+				return
+			}
+			s.fail(j, err)
+			return
+		}
+
+		key := cacheKey(j.mspec.Name, snap.Cluster.Fingerprint(), j.batch, opts)
+		p, hit, planSec, err := s.planFor(ctx, j, snap.Cluster, key, opts)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				s.cancelFinished(j)
+				return
+			}
+			if s.retryElsewhere(j, res, err) {
+				return
+			}
+			s.fail(j, err)
+			return
+		}
+
+		sim, err := pipeline.Simulate(p, j.mspec, snap.Cluster, j.batch)
+		if err != nil {
+			if s.retryElsewhere(j, res, err) {
+				return
+			}
+			s.fail(j, err)
+			return
+		}
+
 		s.mu.Lock()
-		j.batchesDone = b + 1
-		j.simSeconds += perBatch
-		s.met.SimSeconds += perBatch
+		j.state = StateRunning
+		j.cacheHit = hit // last planning round's cache outcome
+		j.planStr = p.String()
+		j.planSeconds += planSec
+		j.batchesTotal = total
+		j.throughput = sim.Throughput
+		s.met.PlanSeconds += planSec
+		if attempt > 0 {
+			j.replans++
+			s.met.Replans++
+		}
+		start := j.batchesDone // checkpoint: resume, never redo, batches
 		s.mu.Unlock()
+
+		// Batches execute sequentially on the pool; each iteration is one
+		// simulated batch, so cancellation and preemption both land on a
+		// batch boundary ("finish in-flight batches" during drains).
+		perBatch := sim.TotalSeconds / res.Availability
+		preempted := false
+		for b := start; b < total; b++ {
+			if ctx.Err() != nil {
+				s.cancelFinished(j)
+				return
+			}
+			s.mu.Lock()
+			j.batchesDone = b + 1
+			j.simSeconds += perBatch
+			s.met.SimSeconds += perBatch
+			s.mu.Unlock()
+			if s.cfg.BatchHook != nil {
+				s.cfg.BatchHook(j.id, b+1, total)
+			}
+			if b+1 < total && s.fleet.Generation(res.Name) != snap.Generation {
+				// The pool changed under the job: checkpoint and re-plan
+				// the remaining batches against the new topology.
+				cur, err := s.fleet.Snapshot(res.Name)
+				s.mu.Lock()
+				j.state = StatePlanning
+				if err == nil && cur.Devices < snap.Devices {
+					j.preemptions++
+				}
+				s.mu.Unlock()
+				preempted = true
+				break
+			}
+		}
+		if !preempted {
+			s.mu.Lock()
+			s.finishLocked(j, StateCompleted, "")
+			s.mu.Unlock()
+			return
+		}
 	}
-	s.mu.Lock()
-	s.finishLocked(j, StateCompleted, "")
-	s.mu.Unlock()
 }
 
-// planFor returns a plan for the pairing, consulting the cache first.
-// On a miss the fresh plan is serialized into the cache. Cached plans
-// that no longer rebind or validate (stale pool definition) are dropped
-// and replanned.
-func (s *Server) planFor(ctx context.Context, j *job, res *scheduler.Resource, key string, opts core.Options) (*plan.Plan, bool, float64, error) {
+// planFor returns a plan for the job on the given (possibly degraded)
+// cluster, consulting the cache first. On a miss the fresh plan is
+// serialized into the cache. Cached plans that no longer rebind or
+// validate (stale pool definition) are dropped and replanned.
+func (s *Server) planFor(ctx context.Context, j *job, clu *cluster.Cluster, key string, opts core.Options) (*plan.Plan, bool, float64, error) {
 	if raw, ok := s.cache.Get(key); ok {
 		var p plan.Plan
 		if err := json.Unmarshal(raw, &p); err == nil {
-			if err := p.Bind(res.Cluster); err == nil {
+			if err := p.Bind(clu); err == nil {
 				if err := p.Validate(j.mspec.Layers); err == nil {
 					return &p, true, 0, nil
 				}
@@ -184,7 +262,7 @@ func (s *Server) planFor(ctx context.Context, j *job, res *scheduler.Resource, k
 		s.cache.Drop(key)
 	}
 	ind := core.ProfileIndicator(j.mspec, opts.Bits, quant.Deterministic)
-	a, err := core.New(j.mspec, res.Cluster, ind, opts)
+	a, err := core.New(j.mspec, clu, ind, opts)
 	if err != nil {
 		return nil, false, 0, err
 	}
@@ -204,8 +282,10 @@ func (s *Server) planFor(ctx context.Context, j *job, res *scheduler.Resource, k
 // retryElsewhere requeues a job whose planning or simulation proved
 // infeasible on this pool, so a differently sized pool can try it;
 // admission only guarantees the job fits *some* pool. Returns false —
-// leaving the caller to fail the job — once every pool has been tried,
-// for non-capacity errors, or when the server is stopping.
+// leaving the caller to fail the job — for non-capacity errors or once
+// every pool has been tried. A job abandoned mid-retry because the
+// server is stopping is canceled (shutdown), not failed: the pool being
+// too small is not the job's final verdict.
 func (s *Server) retryElsewhere(j *job, res *scheduler.Resource, err error) bool {
 	if !errors.Is(err, core.ErrInfeasible) && !errors.Is(err, pipeline.ErrOOM) {
 		return false
@@ -216,11 +296,15 @@ func (s *Server) retryElsewhere(j *job, res *scheduler.Resource, err error) bool
 		j.tried = map[string]bool{}
 	}
 	j.tried[res.Name] = true
-	if len(j.tried) >= len(s.cfg.Resources) || s.stopping {
-		return false
-	}
 	if j.cancelRequested {
 		s.finishLocked(j, StateCanceled, "canceled")
+		return true
+	}
+	if len(j.tried) >= len(s.cfg.Resources) {
+		return false // genuinely infeasible everywhere
+	}
+	if s.stopping {
+		s.finishLocked(j, StateCanceled, "canceled by shutdown before retry on another pool")
 		return true
 	}
 	j.state = StateQueued

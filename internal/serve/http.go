@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	"repro/internal/gpu"
+	"repro/internal/scheduler"
 )
 
 // apiError is the JSON error envelope.
@@ -13,13 +16,16 @@ type apiError struct {
 
 // Handler returns the HTTP API:
 //
-//	POST   /v1/jobs       submit a job (JobSpec body) → JobView
-//	GET    /v1/jobs       list jobs → {"jobs": [JobView...]}
-//	GET    /v1/jobs/{id}  job status → JobView
-//	DELETE /v1/jobs/{id}  cancel → JobView
-//	GET    /v1/metrics    counters → Metrics
-//	POST   /v1/drain      stop admitting jobs → Metrics
-//	GET    /v1/healthz    liveness → {"status": "ok"}
+//	POST   /v1/jobs           submit a job (JobSpec body) → JobView
+//	GET    /v1/jobs           list jobs → {"jobs": [JobView...]}
+//	GET    /v1/jobs/{id}      job status → JobView
+//	DELETE /v1/jobs/{id}      cancel → JobView
+//	GET    /v1/metrics        counters → Metrics
+//	POST   /v1/drain          stop admitting jobs → Metrics
+//	GET    /v1/fleet          pool availability → {"pools": [PoolView...]}
+//	POST   /v1/fleet/preempt  reclaim devices (fleetRequest body) → PoolView
+//	POST   /v1/fleet/restore  return devices (fleetRequest body) → PoolView
+//	GET    /v1/healthz        liveness → {"status": "ok"}
 //
 // Errors are {"error": "..."} with 400 (malformed), 404 (unknown job),
 // 422 (admission rejection), 429 (queue full), or 503 (draining).
@@ -31,6 +37,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("POST /v1/fleet/preempt", s.handleFleetPreempt)
+	mux.HandleFunc("POST /v1/fleet/restore", s.handleFleetRestore)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -106,4 +115,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	s.Drain()
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// fleetRequest is the body of the fleet preempt/restore endpoints.
+type fleetRequest struct {
+	// Pool names the resource; Class is the device class (e.g.
+	// "V100-32G"); Count the devices to reclaim or return.
+	Pool  string `json:"pool"`
+	Class string `json:"class"`
+	Count int    `json:"count"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]PoolView{"pools": s.FleetViews()})
+}
+
+func (s *Server) handleFleetPreempt(w http.ResponseWriter, r *http.Request) {
+	s.handleFleetMutation(w, r, s.fleet.Preempt)
+}
+
+func (s *Server) handleFleetRestore(w http.ResponseWriter, r *http.Request) {
+	s.handleFleetMutation(w, r, s.fleet.Restore)
+}
+
+func (s *Server) handleFleetMutation(w http.ResponseWriter, r *http.Request, apply func(string, gpu.DeviceClass, int) (scheduler.View, error)) {
+	var req fleetRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed fleet request: " + err.Error()})
+		return
+	}
+	v, err := apply(req.Pool, gpu.DeviceClass(req.Class), req.Count)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, poolView(v))
 }

@@ -87,7 +87,12 @@ type JobView struct {
 	SimSeconds float64 `json:"sim_seconds,omitempty"`
 	// Throughput is the simulated output-token rate while running.
 	Throughput float64 `json:"throughput_tps,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// Preemptions counts pool-shrink events the job observed at batch
+	// boundaries; Replans counts the mid-job re-plans of the remaining
+	// batches (each against the pool's then-current topology).
+	Preemptions int    `json:"preemptions,omitempty"`
+	Replans     int    `json:"replans,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 // job is the server-side record. Mutable fields are guarded by the
@@ -113,6 +118,8 @@ type job struct {
 	planSeconds  float64
 	simSeconds   float64
 	throughput   float64
+	preemptions  int
+	replans      int
 	errMsg       string
 
 	// cancelRequested is set by Cancel; cancel aborts in-flight planner
@@ -141,6 +148,8 @@ func (j *job) view() JobView {
 		PlanSeconds:  j.planSeconds,
 		SimSeconds:   j.simSeconds,
 		Throughput:   j.throughput,
+		Preemptions:  j.preemptions,
+		Replans:      j.replans,
 		Error:        j.errMsg,
 	}
 	if !j.started.IsZero() {

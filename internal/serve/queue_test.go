@@ -21,7 +21,13 @@ func bareServer(t *testing.T, cfg Config) *Server {
 	if cfg.QueueCapacity <= 0 {
 		cfg.QueueCapacity = 16
 	}
-	s := &Server{cfg: cfg, cache: NewPlanCache(4), jobs: map[string]*job{}}
+	s := &Server{
+		cfg:   cfg,
+		cache: NewPlanCache(4),
+		fleet: scheduler.NewFleetState(cfg.Resources),
+		jobs:  map[string]*job{},
+		busy:  map[string]bool{},
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	t.Cleanup(s.baseCancel)
@@ -68,13 +74,14 @@ func TestQueueOrdering(t *testing.T) {
 
 	want := []string{d.ID, b.ID, c.ID, a.ID}
 	for i, id := range want {
-		j := s.nextJob(&s.cfg.Resources[0])
+		j, res := s.nextJob(0)
 		if j == nil || j.id != id {
 			t.Fatalf("pop %d: got %v, want %s", i, j, id)
 		}
 		if j.state != StatePlanning {
 			t.Fatalf("pop %d: state %s", i, j.state)
 		}
+		s.releasePool(res) // hand the single pool back for the next pop
 	}
 }
 
@@ -113,7 +120,7 @@ func TestCancelQueued(t *testing.T) {
 		t.Fatalf("got %v, want ErrUnknownJob", err)
 	}
 
-	if j := s.nextJob(&s.cfg.Resources[0]); j == nil || j.id != v2.ID {
+	if j, _ := s.nextJob(0); j == nil || j.id != v2.ID {
 		t.Fatalf("queue should skip the canceled job, popped %v", j)
 	}
 	if m := s.Metrics(); m.Canceled != 1 {
@@ -129,11 +136,11 @@ func TestDeadlineExpiredBeforeRun(t *testing.T) {
 	v := mustSubmit(t, s, spec)
 	time.Sleep(5 * time.Millisecond)
 
-	j := s.nextJob(&s.cfg.Resources[0])
+	j, res := s.nextJob(0)
 	if j == nil || j.id != v.ID {
 		t.Fatalf("popped %v", j)
 	}
-	s.execute(j, &s.cfg.Resources[0])
+	s.execute(j, res)
 	got, err := s.Job(v.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -155,14 +162,14 @@ func TestInfeasiblePairingRetriesElsewhere(t *testing.T) {
 	}
 	s := bareServer(t, cfg)
 	v := mustSubmit(t, s, JobSpec{Model: "llama3.3-70b", Batch: 32, Requests: 32})
-	small, big := &s.cfg.Resources[0], &s.cfg.Resources[1]
 
-	// The small pool grabs the job first and cannot plan it.
-	j := s.nextJob(small)
-	if j == nil || j.id != v.ID {
-		t.Fatalf("popped %v", j)
+	// The small pool (offset 0) grabs the job first and cannot plan it.
+	j, res := s.nextJob(0)
+	if j == nil || j.id != v.ID || res.Name != "small" {
+		t.Fatalf("popped %v on %v", j, res)
 	}
-	s.execute(j, small)
+	s.execute(j, res)
+	s.releasePool(res)
 	got, err := s.Job(v.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -171,12 +178,12 @@ func TestInfeasiblePairingRetriesElsewhere(t *testing.T) {
 		t.Fatalf("job should be requeued after an infeasible pairing, got %s (%s)", got.State, got.Error)
 	}
 
-	// The big pool then serves it.
-	j = s.nextJob(big)
-	if j == nil || j.id != v.ID {
-		t.Fatalf("popped %v", j)
+	// The next pick skips the tried pool and serves it on the big one.
+	j, res = s.nextJob(0)
+	if j == nil || j.id != v.ID || res.Name != "big" {
+		t.Fatalf("popped %v on %v", j, res)
 	}
-	s.execute(j, big)
+	s.execute(j, res)
 	got, err = s.Job(v.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +216,7 @@ func TestShutdownCancelsQueued(t *testing.T) {
 	if _, err := s.Submit(JobSpec{Model: "opt-1.3b", Batch: 8, Requests: 8}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("got %v, want ErrDraining", err)
 	}
-	if s.nextJob(&s.cfg.Resources[0]) != nil {
+	if j, _ := s.nextJob(0); j != nil {
 		t.Fatal("nextJob should return nil after shutdown")
 	}
 }

@@ -52,8 +52,9 @@ type Config struct {
 	// Resources are the harvested pools jobs execute on (≥ 1 required).
 	Resources []scheduler.Resource
 	// Workers bounds executor concurrency; 0 or anything above the pool
-	// count defaults to one worker per resource (each worker owns one
-	// pool, so concurrency never exceeds the fleet).
+	// count defaults to one worker per resource. Workers are not pinned
+	// to pools: every worker rotates over all pools (at most one job per
+	// pool at a time), so even Workers=1 eventually serves every pool.
 	Workers int
 	// StateDir, when non-empty, holds the persisted plan cache; the
 	// server restores it in New and snapshots it on Shutdown.
@@ -66,6 +67,13 @@ type Config struct {
 	// (method defaults to the heuristic, θ to 1; per-job spec overrides
 	// take precedence).
 	Planner core.Options
+	// BatchHook, when non-nil, runs synchronously after every simulated
+	// batch with the job ID, completed batch count, and total. It exists
+	// for deterministic fault injection: chaos tests preempt devices from
+	// the hook so the pool change lands exactly on a batch boundary. It
+	// must be fast (it blocks the executor) and must not call back into
+	// the server's job API.
+	BatchHook func(jobID string, done, total int)
 }
 
 // Metrics is the server counter snapshot served at /v1/metrics.
@@ -87,7 +95,12 @@ type Metrics struct {
 	// simulated execution time across completed work.
 	PlanSeconds float64 `json:"plan_seconds"`
 	SimSeconds  float64 `json:"sim_seconds"`
-	Draining    bool    `json:"draining"`
+	// Preemptions counts fleet preemption events applied to this
+	// server's pools; Replans counts the mid-job re-plans executors
+	// performed after a pool changed under a running job.
+	Preemptions uint64 `json:"preemptions"`
+	Replans     int    `json:"replans"`
+	Draining    bool   `json:"draining"`
 }
 
 // Server is the control-plane instance. Create with New, optionally
@@ -95,12 +108,14 @@ type Metrics struct {
 type Server struct {
 	cfg   Config
 	cache *PlanCache
+	fleet *scheduler.FleetState
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    jobQueue
 	jobs     map[string]*job
-	order    []string // job IDs in submission order, for List
+	order    []string        // job IDs in submission order, for List
+	busy     map[string]bool // pool name → an executor is running a job there
 	seq      int
 	draining bool
 	stopping bool
@@ -109,6 +124,9 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workers    sync.WaitGroup
+
+	persistOnce sync.Once
+	persistErr  error
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -157,7 +175,9 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		cache: NewPlanCache(cfg.CacheCapacity),
+		fleet: scheduler.NewFleetState(cfg.Resources),
 		jobs:  map[string]*job{},
+		busy:  map[string]bool{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -175,35 +195,42 @@ func New(cfg Config) (*Server, error) {
 
 func (s *Server) cachePath() string { return filepath.Join(s.cfg.StateDir, cacheFileName) }
 
+// reject counts one rejected submission and passes the error through;
+// every rejection path — spec validation, admission, drain, queue
+// pressure — must flow through it so Metrics.Rejected is complete.
+func (s *Server) reject(err error) (JobView, error) {
+	s.mu.Lock()
+	s.met.Rejected++
+	s.mu.Unlock()
+	return JobView{}, err
+}
+
 // Submit admits a job and enqueues it, returning the queued job's view.
 // Rejections wrap ErrRejected (with ErrInfeasible inside for memory
 // rejections), ErrDraining, or ErrQueueFull.
 func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	mspec, err := model.Lookup(spec.Model)
 	if err != nil {
-		return JobView{}, fmt.Errorf("%w: %w", ErrRejected, err)
+		return s.reject(fmt.Errorf("%w: %w", ErrRejected, err))
 	}
 	if spec.Batch <= 0 {
-		return JobView{}, fmt.Errorf("%w: batch %d", ErrRejected, spec.Batch)
+		return s.reject(fmt.Errorf("%w: batch %d", ErrRejected, spec.Batch))
 	}
 	if spec.Requests <= 0 {
-		return JobView{}, fmt.Errorf("%w: %d requests", ErrRejected, spec.Requests)
+		return s.reject(fmt.Errorf("%w: %d requests", ErrRejected, spec.Requests))
 	}
 	if spec.DeadlineSeconds < 0 {
-		return JobView{}, fmt.Errorf("%w: negative deadline", ErrRejected)
+		return s.reject(fmt.Errorf("%w: negative deadline", ErrRejected))
 	}
 	if spec.Method != "" && !core.ValidMethod(core.Method(spec.Method)) {
-		return JobView{}, fmt.Errorf("%w: %w %q", ErrRejected, core.ErrUnknownMethod, spec.Method)
+		return s.reject(fmt.Errorf("%w: %w %q", ErrRejected, core.ErrUnknownMethod, spec.Method))
 	}
 	batch, err := buildBatch(spec, mspec)
 	if err != nil {
-		return JobView{}, fmt.Errorf("%w: %w", ErrRejected, err)
+		return s.reject(fmt.Errorf("%w: %w", ErrRejected, err))
 	}
 	if err := admissionCheck(mspec, batch, s.cfg.Planner.Bits, s.cfg.Planner.BitKV, s.cfg.Resources); err != nil {
-		s.mu.Lock()
-		s.met.Rejected++
-		s.mu.Unlock()
-		return JobView{}, fmt.Errorf("%w: %w", ErrRejected, err)
+		return s.reject(fmt.Errorf("%w: %w", ErrRejected, err))
 	}
 
 	s.mu.Lock()
@@ -234,7 +261,11 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.order = append(s.order, j.id)
 	heap.Push(&s.queue, j)
 	s.met.Submitted++
-	s.cond.Signal()
+	// Broadcast, not Signal: a signaled worker whose every idle pool has
+	// already proven infeasible for the queued jobs would re-Wait without
+	// passing the wakeup on, stranding a runnable job while other workers
+	// sleep.
+	s.cond.Broadcast()
 	return j.view(), nil
 }
 
@@ -308,6 +339,7 @@ func (s *Server) Metrics() Metrics {
 	m.Draining = s.draining || s.stopping
 	m.CacheHits, m.CacheMisses = s.cache.Stats()
 	m.CacheEntries = s.cache.Len()
+	m.Preemptions = s.fleet.Preemptions()
 	m.QueueDepth = 0
 	for _, j := range s.queue {
 		if j.state == StateQueued {
@@ -329,6 +361,55 @@ func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+}
+
+// Fleet exposes the dynamic availability view of the server's pools so
+// operators and fault injectors can reclaim and return devices at
+// runtime; executors poll it at batch boundaries.
+func (s *Server) Fleet() *scheduler.FleetState { return s.fleet }
+
+// PoolView is the HTTP rendering of one pool's dynamic availability.
+type PoolView struct {
+	Name string `json:"name"`
+	// Cluster is the usable composition ("" when fully reclaimed).
+	Cluster string `json:"cluster,omitempty"`
+	// Devices / TotalDevices are the usable and intact device counts.
+	Devices      int `json:"devices"`
+	TotalDevices int `json:"total_devices"`
+	// Generation increments on every preemption or restore.
+	Generation uint64 `json:"generation"`
+	// Preempted maps device class → currently reclaimed count.
+	Preempted map[string]int `json:"preempted,omitempty"`
+}
+
+// poolView converts a scheduler availability snapshot to the wire form.
+func poolView(v scheduler.View) PoolView {
+	pv := PoolView{
+		Name:         v.Resource,
+		Devices:      v.Devices,
+		TotalDevices: v.TotalDevices,
+		Generation:   v.Generation,
+	}
+	if v.Cluster != nil {
+		pv.Cluster = v.Cluster.String()
+	}
+	if len(v.Preempted) > 0 {
+		pv.Preempted = map[string]int{}
+		for class, n := range v.Preempted {
+			pv.Preempted[string(class)] = n
+		}
+	}
+	return pv
+}
+
+// FleetViews snapshots every pool's availability in registration order.
+func (s *Server) FleetViews() []PoolView {
+	views := s.fleet.Views()
+	out := make([]PoolView, 0, len(views))
+	for _, v := range views {
+		out = append(out, poolView(v))
+	}
+	return out
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves the HTTP API,
@@ -403,7 +484,12 @@ func (s *Server) waitAndPersist(ctx context.Context) error {
 		srv.Shutdown(shCtx)
 	}
 	if s.cfg.StateDir != "" {
-		return s.cache.Save(s.cachePath())
+		// Persist exactly once: concurrent Shutdown callers racing
+		// independent Save calls could rename the same temp file out from
+		// under each other and surface a spurious error. Every caller
+		// observes the single persist's outcome.
+		s.persistOnce.Do(func() { s.persistErr = s.cache.Save(s.cachePath()) })
+		return s.persistErr
 	}
 	return nil
 }
