@@ -15,9 +15,14 @@ vet:
 # pool and the serve executor rotates workers over pools; -race keeps
 # both honest). The explicit -timeout raises Go's 10-minute per-package
 # default: the experiments package regenerates every paper table and can
-# exceed it under -race on small CI machines.
+# exceed it under -race on small CI machines. The transport package gets
+# an explicit second pass: its chaos fault-matrix suite (skipped under
+# -short) must hold up under the race detector even when the full-suite
+# invocation is later narrowed, and -count=2 shakes out order-dependent
+# state in the reconnect/replay paths.
 test-race:
 	$(GO) test -race -timeout 45m ./...
+	$(GO) test -race -timeout 15m -count=2 ./internal/transport/
 
 # Full gate: static checks plus the race-enabled suite.
 check: vet test-race

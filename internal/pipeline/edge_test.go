@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Edge-case coverage for Simulate: degenerate generation lengths,
+// chunking that does not divide the prompt, and micro-batches larger
+// than the batch itself.
+
+// TestSingleTokenGeneration: GenTokens==1 means prefill produces the
+// only token — there are no decode steps, so the decode-phase metrics
+// must collapse to zero instead of going negative or NaN.
+func TestSingleTokenGeneration(t *testing.T) {
+	clu := cluster.MustPreset(9)
+	spec := model.OPT13B
+	p := evenPlan(spec, clu, 8, 8, 8)
+	res, err := Simulate(p, spec, clu, workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodeSeconds != 0 {
+		t.Fatalf("GenTokens=1 has no decode phase, got DecodeSeconds=%v", res.DecodeSeconds)
+	}
+	if res.TBT != 0 {
+		t.Fatalf("GenTokens=1 has no time-between-tokens, got TBT=%v", res.TBT)
+	}
+	if res.TotalSeconds != res.PrefillSeconds {
+		t.Fatalf("total %v != prefill %v with no decode steps", res.TotalSeconds, res.PrefillSeconds)
+	}
+	if res.OutputTokens != 16 {
+		t.Fatalf("OutputTokens = %d, want 16 (one per request)", res.OutputTokens)
+	}
+	if res.Throughput <= 0 || res.TTFT <= 0 {
+		t.Fatalf("degenerate derived metrics: %+v", res)
+	}
+}
+
+// TestSynthesizeOddPromptChunking: when the padded prompt is not a
+// multiple of the requested chunk length, Synthesize must still emit a
+// consistent batch (PaddedPrompt = ChunkLen·Chunks within the position
+// budget) and Simulate must accept it.
+func TestSynthesizeOddPromptChunking(t *testing.T) {
+	// All prompts are 1000 tokens; chunkLen 384 does not divide the
+	// padded prompt percentile.
+	prof := workload.Fixed(64, 1000, 50)
+	batch, err := workload.Synthesize(prof, 16, 384, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.ChunkLen*batch.Chunks != batch.PaddedPrompt() {
+		t.Fatalf("inconsistent chunking: %+v", batch)
+	}
+	// The padded prompt must cover the original prompts (rounding up is
+	// allowed within the position budget) and never exceed the budget.
+	if batch.PaddedPrompt()+batch.Reserve() > 4096 {
+		t.Fatalf("chunked prompt overflows position budget: %+v", batch)
+	}
+	if batch.PaddedPrompt() < 1000 {
+		t.Fatalf("padding rounded below the actual prompt length: %+v", batch)
+	}
+	clu := cluster.MustPreset(9)
+	spec := model.OPT13B
+	p := evenPlan(spec, clu, 8, 8, 8)
+	res, err := Simulate(p, spec, clu, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("odd-chunked batch produced no throughput: %+v", res)
+	}
+}
+
+// TestSynthesizeChunkLongerThanPrompt: a chunk length exceeding the
+// padded prompt must degrade to a single prompt-sized chunk.
+func TestSynthesizeChunkLongerThanPrompt(t *testing.T) {
+	prof := workload.Fixed(16, 100, 20)
+	batch, err := workload.Synthesize(prof, 8, 4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Chunks != 1 {
+		t.Fatalf("oversized chunk should collapse to one chunk: %+v", batch)
+	}
+	if batch.ChunkLen > 100 {
+		t.Fatalf("chunk longer than the prompt: %+v", batch)
+	}
+	if err := batch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMicroBatchLargerThanBatchClamps: micro-batch sizes are clamped to
+// the batch size, so η=ξ=64 over an 8-request batch must simulate
+// identically to η=ξ=8.
+func TestMicroBatchLargerThanBatchClamps(t *testing.T) {
+	clu := cluster.MustPreset(9)
+	spec := model.OPT13B
+	batch := workload.Batch{Size: 8, ChunkLen: 256, Chunks: 2, GenTokens: 16}
+	big := evenPlan(spec, clu, 8, 64, 64)
+	exact := evenPlan(spec, clu, 8, 8, 8)
+	rBig, err := Simulate(big, spec, clu, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rExact, err := Simulate(exact, spec, clu, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBig.TotalSeconds != rExact.TotalSeconds || rBig.Throughput != rExact.Throughput {
+		t.Fatalf("oversized micro-batch not clamped: %v/%v vs %v/%v",
+			rBig.TotalSeconds, rBig.Throughput, rExact.TotalSeconds, rExact.Throughput)
+	}
+	for j := range rBig.StageMemory {
+		if rBig.StageMemory[j] != rExact.StageMemory[j] {
+			t.Fatalf("stage %d memory differs under clamping: %d vs %d",
+				j, rBig.StageMemory[j], rExact.StageMemory[j])
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/scheduler"
+	"repro/internal/transport"
 )
 
 // Sentinel errors. Submission failures wrap one of these so callers can
@@ -74,6 +75,12 @@ type Config struct {
 	// must be fast (it blocks the executor) and must not call back into
 	// the server's job API.
 	BatchHook func(jobID string, done, total int)
+	// TransportStats, when non-nil, is polled by Metrics for the
+	// distributed transport's recovery counters (reconnects, replayed
+	// tokens, failed attempts) so the /v1/metrics endpoint surfaces the
+	// health of a live stage chain — typically transport.Driver's
+	// RecoveryStats method.
+	TransportStats func() transport.RecoveryStats
 }
 
 // Metrics is the server counter snapshot served at /v1/metrics.
@@ -101,6 +108,12 @@ type Metrics struct {
 	Preemptions uint64 `json:"preemptions"`
 	Replans     int    `json:"replans"`
 	Draining    bool   `json:"draining"`
+	// Transport recovery counters, populated when Config.TransportStats
+	// is wired to a live distributed driver (all zero otherwise).
+	TransportReconnects     uint64 `json:"transport_reconnects"`
+	TransportReplayedTokens uint64 `json:"transport_replayed_tokens"`
+	TransportFailedAttempts uint64 `json:"transport_failed_attempts"`
+	TransportRecoveries     uint64 `json:"transport_recoveries"`
 }
 
 // Server is the control-plane instance. Create with New, optionally
@@ -351,6 +364,13 @@ func (s *Server) Metrics() Metrics {
 		if j.state == StatePlanning || j.state == StateRunning {
 			m.Running++
 		}
+	}
+	if s.cfg.TransportStats != nil {
+		ts := s.cfg.TransportStats()
+		m.TransportReconnects = ts.Reconnects
+		m.TransportReplayedTokens = ts.ReplayedTokens
+		m.TransportFailedAttempts = ts.FailedAttempts
+		m.TransportRecoveries = ts.Recoveries
 	}
 	return m
 }

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestMetricsSurfaceTransportRecovery: when Config.TransportStats is
+// wired, the metrics snapshot (and hence /v1/metrics) carries the
+// distributed transport's recovery counters; when it is not, the fields
+// stay zero.
+func TestMetricsSurfaceTransportRecovery(t *testing.T) {
+	cfg := testConfig("")
+	cfg.TransportStats = func() transport.RecoveryStats {
+		return transport.RecoveryStats{
+			Reconnects:     3,
+			ReplayedTokens: 41,
+			FailedAttempts: 5,
+			Recoveries:     2,
+		}
+	}
+	srv, c := startServer(t, cfg)
+	defer shutdown(t, srv)
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TransportReconnects != 3 || m.TransportReplayedTokens != 41 ||
+		m.TransportFailedAttempts != 5 || m.TransportRecoveries != 2 {
+		t.Fatalf("transport counters lost over the metrics endpoint: %+v", m)
+	}
+
+	bare, bc := startServer(t, testConfig(""))
+	defer shutdown(t, bare)
+	bm, err := bc.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.TransportReconnects != 0 || bm.TransportReplayedTokens != 0 ||
+		bm.TransportFailedAttempts != 0 || bm.TransportRecoveries != 0 {
+		t.Fatalf("unwired transport counters should be zero: %+v", bm)
+	}
+}

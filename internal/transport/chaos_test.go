@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The chaos suite runs a two-stage pipeline with stage 0 behind a
+// ChaosProxy and checks that every fault class, injected in either
+// phase (prefill or decode) and direction, leaves the generation
+// bit-identical to the single-process reference. Fault positions are
+// calibrated in bytes from clean runs, so each cell severs/stalls the
+// stream at a reproducible protocol point. Gated behind -short to keep
+// the tier-1 loop fast.
+
+const (
+	chaosPromptSeed = 5
+	chaosPromptLen  = 12
+	chaosTokens     = 16
+)
+
+var chaosCuts = [][2]int{{0, 3}, {3, 6}}
+
+// chaosCalib holds cumulative byte counts from clean proxied runs:
+// through the end of prefill (a prefill-only generation) and through a
+// full generation, per direction.
+type chaosCalib struct {
+	upPrefill, upTotal     int64
+	downPrefill, downTotal int64
+}
+
+// chaosRig is one proxied pipeline: driver → proxy → stage0 → stage1.
+type chaosRig struct {
+	servers []*StageServer
+	proxy   *ChaosProxy
+	driver  *Driver
+}
+
+func (r *chaosRig) close() {
+	r.driver.Close()
+	r.proxy.Close()
+	for _, s := range r.servers {
+		s.Close()
+	}
+}
+
+// newChaosRig builds the pipeline; arm is called with the proxy before
+// the driver connects (so even connection-establishment faults apply).
+func newChaosRig(t *testing.T, ioTimeout time.Duration, arm func(p *ChaosProxy)) *chaosRig {
+	t.Helper()
+	r := &chaosRig{}
+	var addrs []string
+	for _, c := range chaosCuts {
+		s, err := NewStageServer(cfg, seed, nil, c[0], c[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ioTimeout > 0 {
+			s.SetIOTimeout(ioTimeout * 4)
+		}
+		addr, err := s.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.servers = append(r.servers, s)
+		addrs = append(addrs, addr)
+	}
+	r.proxy = NewChaosProxy(addrs[0])
+	if arm != nil {
+		arm(r.proxy)
+	}
+	paddr, err := r.proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(cfg, seed, []string{paddr, addrs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRetryPolicy(fastRetry)
+	if ioTimeout > 0 {
+		d.SetIOTimeout(ioTimeout)
+	}
+	r.driver = d
+	return r
+}
+
+func chaosPrompt() []int {
+	return RandomPrompt(stats.NewRNG(chaosPromptSeed), cfg.Vocab, chaosPromptLen)
+}
+
+// calibrateChaos measures the proxied byte stream of a prefill-only run
+// and of a full clean run.
+func calibrateChaos(t *testing.T) chaosCalib {
+	t.Helper()
+	var c chaosCalib
+	// Prefill-only generation (n=0): prefill request/response plus the
+	// session close.
+	r := newChaosRig(t, 0, nil)
+	if _, err := r.driver.Generate(chaosPrompt(), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.upPrefill = r.proxy.Bytes(Upstream)
+	c.downPrefill = r.proxy.Bytes(Downstream)
+	r.close()
+
+	r = newChaosRig(t, 0, nil)
+	got, err := r.driver.Generate(chaosPrompt(), chaosTokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesReference(t, nil, chaosPrompt(), got, chaosTokens)
+	c.upTotal = r.proxy.Bytes(Upstream)
+	c.downTotal = r.proxy.Bytes(Downstream)
+	r.close()
+
+	if c.upPrefill <= 0 || c.upTotal <= c.upPrefill || c.downTotal <= c.downPrefill {
+		t.Fatalf("implausible calibration: %+v", c)
+	}
+	return c
+}
+
+// TestChaosFaultMatrix: fault class × phase (× direction for stream
+// faults) → generation completes and matches the reference.
+func TestChaosFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	cal := calibrateChaos(t)
+	// Positions safely inside each phase's traffic: mid-prefill lands
+	// inside the large first gob message; mid-decode lands ~60% into
+	// the decode stream.
+	upPre := cal.upPrefill / 2
+	upDec := cal.upPrefill + (cal.upTotal-cal.upPrefill)*6/10
+	downPre := cal.downPrefill / 2
+	downDec := cal.downPrefill + (cal.downTotal-cal.downPrefill)*6/10
+
+	const stallIO = 80 * time.Millisecond // driver IO timeout for stall cells
+	cases := []struct {
+		name         string
+		ioTimeout    time.Duration
+		arm          func(p *ChaosProxy)
+		wantRecovery bool
+		// wantReplay: decode-phase faults must replay tokens to rebuild
+		// KV caches; a prefill-phase fault recovers with an empty log.
+		wantReplay bool
+	}{
+		{"cut/prefill/upstream", 0, func(p *ChaosProxy) { p.CutAfterBytes(Upstream, upPre) }, true, false},
+		{"cut/prefill/downstream", 0, func(p *ChaosProxy) { p.CutAfterBytes(Downstream, downPre) }, true, false},
+		{"cut/decode/upstream", 0, func(p *ChaosProxy) { p.CutAfterBytes(Upstream, upDec) }, true, true},
+		{"cut/decode/downstream", 0, func(p *ChaosProxy) { p.CutAfterBytes(Downstream, downDec) }, true, true},
+		{"stall/prefill/upstream", stallIO, func(p *ChaosProxy) { p.StallAfterBytes(Upstream, upPre, 600*time.Millisecond) }, true, false},
+		{"stall/decode/downstream", stallIO, func(p *ChaosProxy) { p.StallAfterBytes(Downstream, downDec, 600*time.Millisecond) }, true, true},
+		{"delay/both-phases/both-directions", 0, func(p *ChaosProxy) {
+			p.SetDelay(Upstream, 200*time.Microsecond)
+			p.SetDelay(Downstream, 200*time.Microsecond)
+		}, false, false},
+		{"drop/decode/reconnect-refused", 0, func(p *ChaosProxy) {
+			// Sever mid-decode; the post-connect arm below also refuses
+			// the first redial, so recovery must absorb a failed attempt
+			// and succeed on the next.
+			p.CutAfterBytes(Upstream, upDec)
+		}, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newChaosRig(t, tc.ioTimeout, tc.arm)
+			defer r.close()
+			if tc.name == "drop/decode/reconnect-refused" {
+				// Armed after the driver's initial connection so only
+				// the redial is refused.
+				r.proxy.DropNextConns(1)
+			}
+			got, err := r.driver.Generate(chaosPrompt(), chaosTokens)
+			if err != nil {
+				t.Fatalf("generation did not survive the fault: %v (health %+v)", err, r.driver.StageHealth())
+			}
+			assertMatchesReference(t, nil, chaosPrompt(), got, chaosTokens)
+			rs := r.driver.RecoveryStats()
+			if tc.wantRecovery && rs.Recoveries == 0 {
+				t.Fatalf("fault did not exercise recovery: %+v (proxy %+v)", rs, r.proxy.Stats())
+			}
+			if tc.wantReplay && rs.ReplayedTokens == 0 {
+				t.Fatalf("decode-phase fault replayed nothing: %+v (proxy %+v)", rs, r.proxy.Stats())
+			}
+			if !tc.wantRecovery && rs.Recoveries != 0 {
+				t.Fatalf("benign fault triggered recovery: %+v", rs)
+			}
+		})
+	}
+}
+
+// TestChaosOrphanReaping: when a stage stays unreachable (every redial
+// refused) the driver gives up and can never close its session there —
+// the KV cache is orphaned on the stage and must fall to the
+// idle-session TTL reaper.
+func TestChaosOrphanReaping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	cal := calibrateChaos(t)
+	upDec := cal.upPrefill + (cal.upTotal-cal.upPrefill)*6/10
+
+	r := newChaosRig(t, 0, func(p *ChaosProxy) { p.CutAfterBytes(Upstream, upDec) })
+	defer r.close()
+	// Armed after the driver's initial connection: only redials after
+	// the cut are refused — the stage never comes back.
+	r.proxy.DropNextConns(1000)
+	// TTL set after Listen: the periodic reap loop is not running, so
+	// the poll below sweeps explicitly via ReapIdleSessions.
+	r.servers[0].SetSessionTTL(20 * time.Millisecond)
+	r.driver.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Seed: 5})
+
+	if _, err := r.driver.Generate(chaosPrompt(), chaosTokens); err == nil {
+		t.Fatal("generation against a permanently dead stage should fail")
+	}
+	if n := r.servers[0].SessionCount(); n == 0 {
+		t.Fatal("expected an orphaned session on the unreachable stage")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.servers[0].ReapedSessions() > 0 && r.servers[0].SessionCount() == 0 {
+			return
+		}
+		r.servers[0].ReapIdleSessions()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("orphaned session never reaped: %d live, %d reaped",
+		r.servers[0].SessionCount(), r.servers[0].ReapedSessions())
+}
+
+// TestChaosRandomSoak: seeded probabilistic cuts and stalls across the
+// whole stream; the generation must still converge to the reference
+// within a generous retry budget. Deterministic for a fixed seed.
+func TestChaosRandomSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	r := newChaosRig(t, 60*time.Millisecond, func(p *ChaosProxy) {
+		p.Randomize(2024, 0.01, 0.01, 200*time.Millisecond)
+	})
+	defer r.close()
+	r.driver.SetRetryPolicy(RetryPolicy{MaxAttempts: 25, BaseDelay: time.Millisecond,
+		MaxDelay: 10 * time.Millisecond, Jitter: 0.2, Seed: 9})
+
+	got, err := r.driver.Generate(chaosPrompt(), chaosTokens)
+	if err != nil {
+		t.Fatalf("soak did not converge: %v (proxy %+v, health %+v)",
+			err, r.proxy.Stats(), r.driver.StageHealth())
+	}
+	assertMatchesReference(t, nil, chaosPrompt(), got, chaosTokens)
+}

@@ -1,0 +1,246 @@
+// Deterministic session recovery: the driver keeps a per-session token
+// log (prompt plus every generated token already forwarded) and, after
+// a fault, reconnects poisoned links with capped exponential backoff
+// and replays the log under a fresh session id. The replay re-issues
+// exactly the original forward passes (one multi-row prefill, then one
+// single-row pass per decoded token), so every stage — restarted or
+// not — rebuilds its KV cache bit-identically and the generation
+// resumes mid-decode with the same tokens Reference would produce.
+
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// ErrStaleSession is returned (wrapped) when a stage rejects a decode
+// request for a session it no longer holds — the stage restarted or its
+// idle-session TTL reaped the cache. It is retryable: the driver's
+// replay path rebuilds the state.
+var ErrStaleSession = errors.New("stale session")
+
+// ErrRecoveryExhausted is returned (wrapped) when a generation keeps
+// failing after the retry policy's full attempt budget.
+var ErrRecoveryExhausted = errors.New("recovery budget exhausted")
+
+// RetryPolicy bounds the driver's reconnect-and-replay loop.
+type RetryPolicy struct {
+	// MaxAttempts is the recovery budget per forward pass: how many
+	// reconnect+replay rounds to try before giving up. Zero disables
+	// recovery entirely (fail on first fault).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first attempt; each further
+	// attempt doubles it, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = uncapped).
+	MaxDelay time.Duration
+	// Jitter adds up to Jitter×delay of seeded random extra wait, to
+	// decorrelate reconnect storms across drivers.
+	Jitter float64
+	// Seed seeds the jitter RNG, keeping backoff schedules
+	// reproducible.
+	Seed uint64
+}
+
+// DefaultRetryPolicy is the policy NewDriver installs: four attempts,
+// 20ms–1s capped exponential backoff with 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 20 * time.Millisecond,
+		MaxDelay: time.Second, Jitter: 0.2, Seed: 1}
+}
+
+// Delay computes the backoff before the attempt-th recovery attempt
+// (1-based): BaseDelay·2^(attempt−1) capped at MaxDelay, plus jitter.
+func (p RetryPolicy) Delay(attempt int, rng *stats.RNG) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay
+	// Cap the shift well before it can overflow a Duration.
+	if attempt > 30 {
+		attempt = 30
+	}
+	d <<= uint(attempt - 1)
+	if d < p.BaseDelay { // overflow guard
+		d = p.MaxDelay
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		d += time.Duration(float64(d) * p.Jitter * rng.Float64())
+	}
+	return d
+}
+
+// SetRetryPolicy replaces the driver's recovery policy (and reseeds the
+// jitter RNG). Set before generating.
+func (d *Driver) SetRetryPolicy(p RetryPolicy) {
+	d.genMu.Lock()
+	defer d.genMu.Unlock()
+	d.policy = p
+	d.rng = stats.NewRNG(p.Seed)
+}
+
+// retryableError wraps faults the recovery loop may repair (stream
+// errors, stale sessions, failed redials); everything else is
+// permanent.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func markRetryable(err error) error { return &retryableError{err: err} }
+
+func isRetryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re)
+}
+
+// genState is the driver's per-generation token log: everything needed
+// to rebuild stage KV caches from scratch.
+type genState struct {
+	session uint64
+	prompt  []int
+	// done holds generated tokens that have been forwarded through
+	// every stage (their positions are in the stage KV caches).
+	done []int
+}
+
+// Generate runs prompt through the distributed pipeline and greedily
+// decodes n tokens, returning the generated token ids. Faults
+// (connection errors, stalls, stage restarts, reaped sessions) are
+// repaired transparently within the retry policy's budget; the
+// recovered generation is bit-identical to an unfaulted one.
+//
+// Generate is safe for concurrent use; concurrent calls are serialized
+// on the shared stage streams, each under its own session.
+func (d *Driver) Generate(prompt []int, n int) ([]int, error) {
+	if len(prompt) == 0 || n < 0 {
+		return nil, fmt.Errorf("transport: bad generate request (%d prompt tokens, n=%d)", len(prompt), n)
+	}
+	d.genMu.Lock()
+	defer d.genMu.Unlock()
+	g := &genState{session: d.next.Add(1), prompt: prompt}
+	defer func() { d.closeSessionLocked(g.session) }()
+
+	x, err := d.model.Embed(prompt, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.forwardRecover(g, x, 0)
+	if err != nil {
+		return nil, err
+	}
+	logits := d.model.Logits(h)
+	out := make([]int, 0, n)
+	tok := tensor.ArgmaxRow(logits.Row(logits.Rows - 1))
+	pos := len(prompt)
+	for len(out) < n {
+		out = append(out, tok)
+		if pos >= d.model.Cfg.MaxPos {
+			break
+		}
+		x, err := d.model.Embed([]int{tok}, pos)
+		if err != nil {
+			return nil, err
+		}
+		h, err := d.forwardRecover(g, x, pos)
+		if err != nil {
+			return nil, err
+		}
+		g.done = append(g.done, tok)
+		tok = tensor.ArgmaxRow(d.model.Logits(h).Row(0))
+		pos++
+	}
+	return out, nil
+}
+
+// forwardRecover is forwardOnce wrapped in the reconnect-and-replay
+// loop: on a retryable fault it backs off, redials poisoned links,
+// replays the token log under a fresh session, and retries the pass,
+// up to the policy's attempt budget. Caller holds genMu.
+func (d *Driver) forwardRecover(g *genState, x *tensor.Matrix, offset int) (*tensor.Matrix, error) {
+	h, err := d.forwardOnce(g.session, x, offset)
+	if err == nil || !isRetryable(err) || d.policy.MaxAttempts <= 0 {
+		return h, err
+	}
+	for attempt := 1; ; attempt++ {
+		if attempt > d.policy.MaxAttempts {
+			return nil, fmt.Errorf("transport: %w after %d attempts: %v",
+				ErrRecoveryExhausted, d.policy.MaxAttempts, err)
+		}
+		time.Sleep(d.policy.Delay(attempt, d.rng))
+		if rerr := d.reconnectPoisoned(); rerr != nil {
+			err = rerr
+			continue
+		}
+		if rerr := d.replay(g, offset); rerr != nil {
+			if isRetryable(rerr) {
+				err = rerr
+				continue
+			}
+			return nil, rerr
+		}
+		h, err = d.forwardOnce(g.session, x, offset)
+		if err == nil {
+			return h, nil
+		}
+		if !isRetryable(err) {
+			return nil, err
+		}
+	}
+}
+
+// replay rebuilds every stage's KV cache for positions [0, upto) under
+// a fresh session id by re-issuing the exact forward passes that built
+// them: one multi-row prefill of the prompt, then one single-row pass
+// per already-decoded token. It is the deterministic heart of recovery
+// — the re-computed caches are bit-identical to the lost ones. Caller
+// holds genMu, with all links healthy (reconnectPoisoned just ran).
+func (d *Driver) replay(g *genState, upto int) error {
+	old := g.session
+	g.session = d.next.Add(1)
+	d.recoveries.Add(1)
+	// Reclaim the orphaned session on stages that kept their state; an
+	// unreachable stage's copy falls to its idle-session TTL.
+	d.closeSessionLocked(old)
+	if upto == 0 {
+		return nil // the failed pass was the prefill; nothing to rebuild
+	}
+	if upto < len(g.prompt) || upto > len(g.prompt)+len(g.done) {
+		return fmt.Errorf("transport: replay offset %d outside token log (%d prompt + %d decoded)",
+			upto, len(g.prompt), len(g.done))
+	}
+	x, err := d.model.Embed(g.prompt, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := d.forwardOnce(g.session, x, 0); err != nil {
+		return err
+	}
+	pos := len(g.prompt)
+	for _, tok := range g.done[:upto-len(g.prompt)] {
+		x, err := d.model.Embed([]int{tok}, pos)
+		if err != nil {
+			return err
+		}
+		if _, err := d.forwardOnce(g.session, x, pos); err != nil {
+			return err
+		}
+		pos++
+	}
+	d.replayedTotal.Add(uint64(upto))
+	for _, l := range d.links {
+		if l.pendingReplayCredit {
+			l.replayed.Add(uint64(upto))
+			l.pendingReplayCredit = false
+		}
+	}
+	return nil
+}

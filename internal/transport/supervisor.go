@@ -1,0 +1,389 @@
+// Driver-side stage supervision: every stage connection is a supervised
+// link with health state, poisoned-stream detection, and reconnect
+// support. Any mid-stream gob or timeout error marks the link poisoned —
+// the gob encoder/decoder pair is assumed desynced and is never written
+// to again — and the recovery layer (recovery.go) redials and replays.
+// An optional heartbeat loop pings idle stages so failures are detected
+// and repaired between generations, not just when a request hits them.
+
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/tinyllm"
+)
+
+// stageLink is one supervised connection to a stage server. The conn,
+// encoder and decoder are only touched while holding Driver.genMu; the
+// health fields are additionally guarded by Driver.healthMu so metric
+// snapshots never block behind a running generation.
+type stageLink struct {
+	addr string
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	poisoned bool
+	lastErr  string
+
+	reconnects atomic.Uint64
+	replayed   atomic.Uint64
+	failed     atomic.Uint64
+
+	// pendingReplayCredit marks a link reconnected since the last
+	// successful replay, so replayed-token counts land on the stages
+	// that actually lost their KV caches.
+	pendingReplayCredit bool
+}
+
+// StageHealth is a point-in-time snapshot of one supervised link.
+type StageHealth struct {
+	Addr string `json:"addr"`
+	// Healthy is false while the link is poisoned (awaiting reconnect).
+	Healthy bool `json:"healthy"`
+	// Reconnects counts successful redials after a poisoned stream.
+	Reconnects uint64 `json:"reconnects"`
+	// ReplayedTokens counts tokens re-forwarded to rebuild this stage's
+	// KV caches after reconnects.
+	ReplayedTokens uint64 `json:"replayed_tokens"`
+	// FailedAttempts counts request or dial attempts that errored.
+	FailedAttempts uint64 `json:"failed_attempts"`
+	// LastErr is the most recent error observed on the link.
+	LastErr string `json:"last_err,omitempty"`
+}
+
+// RecoveryStats aggregates recovery counters across all stages, in the
+// shape the serve layer's metrics endpoint surfaces.
+type RecoveryStats struct {
+	// Reconnects is the total successful redials across stages.
+	Reconnects uint64 `json:"reconnects"`
+	// ReplayedTokens is the total tokens replayed to rebuild KV caches.
+	ReplayedTokens uint64 `json:"replayed_tokens"`
+	// FailedAttempts is the total errored request/dial attempts.
+	FailedAttempts uint64 `json:"failed_attempts"`
+	// Recoveries is the number of session-replay recoveries performed.
+	Recoveries uint64 `json:"recoveries"`
+}
+
+// Driver is the master engine: it owns the embeddings and LM head and
+// drives a chain of remote stages over supervised connections.
+//
+// Concurrency contract: all exported methods are safe for concurrent
+// use. Generate calls are serialized internally (the gob streams to the
+// stages are shared), so concurrent generations run back to back, each
+// under its own session; health and recovery snapshots never block
+// behind a running generation.
+type Driver struct {
+	model     *tinyllm.Model
+	links     []*stageLink
+	next      atomic.Uint64
+	ioTimeout time.Duration
+
+	policy RetryPolicy
+	rng    *stats.RNG // jitter source; guarded by genMu
+
+	replayedTotal atomic.Uint64
+	recoveries    atomic.Uint64
+
+	genMu    sync.Mutex // serializes stream use: Generate, Ping, Close
+	healthMu sync.Mutex // guards poisoned/lastErr on every link
+
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
+}
+
+// NewDriver reconstructs the master model from (cfg, seed) and connects
+// to the stage servers in pipeline order. Recovery defaults to
+// DefaultRetryPolicy; tune with SetRetryPolicy.
+func NewDriver(cfg tinyllm.Config, seed uint64, stageAddrs []string) (*Driver, error) {
+	if len(stageAddrs) == 0 {
+		return nil, errors.New("transport: no stages")
+	}
+	m, err := tinyllm.New(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	p := DefaultRetryPolicy()
+	d := &Driver{model: m, policy: p, rng: stats.NewRNG(p.Seed)}
+	for _, addr := range stageAddrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		}
+		d.links = append(d.links, &stageLink{addr: addr, conn: conn,
+			enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)})
+	}
+	return d, nil
+}
+
+// SetIOTimeout bounds each per-message send and receive against the
+// stage servers; a stage that stops responding poisons its link (and
+// triggers recovery) instead of hanging the driver. Zero (the default)
+// disables deadlines. Set before generating.
+func (d *Driver) SetIOTimeout(t time.Duration) { d.ioTimeout = t }
+
+// armDeadline arms the per-message deadline on one link.
+func (d *Driver) armDeadline(l *stageLink) {
+	if d.ioTimeout > 0 && l.conn != nil {
+		l.conn.SetDeadline(time.Now().Add(d.ioTimeout))
+	}
+}
+
+// poison marks a link's stream desynced: the connection is closed and
+// never written to again until a redial replaces it. Caller holds genMu.
+func (d *Driver) poison(l *stageLink, err error) {
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.failed.Add(1)
+	d.healthMu.Lock()
+	l.poisoned = true
+	l.lastErr = err.Error()
+	d.healthMu.Unlock()
+}
+
+// isPoisoned reports the link's health under healthMu.
+func (d *Driver) isPoisoned(l *stageLink) bool {
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	return l.poisoned
+}
+
+// redial replaces a poisoned link's connection with a fresh one. Caller
+// holds genMu.
+func (d *Driver) redial(l *stageLink) error {
+	timeout := d.ioTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", l.addr, timeout)
+	if err != nil {
+		l.failed.Add(1)
+		d.healthMu.Lock()
+		l.lastErr = err.Error()
+		d.healthMu.Unlock()
+		return fmt.Errorf("transport: redial %s: %w", l.addr, err)
+	}
+	if l.conn != nil {
+		l.conn.Close()
+	}
+	l.conn = conn
+	l.enc = gob.NewEncoder(conn)
+	l.dec = gob.NewDecoder(conn)
+	l.reconnects.Add(1)
+	l.pendingReplayCredit = true
+	d.healthMu.Lock()
+	l.poisoned = false
+	l.lastErr = ""
+	d.healthMu.Unlock()
+	return nil
+}
+
+// reconnectPoisoned redials every poisoned link; the first failure
+// aborts the round (the backoff loop retries). Caller holds genMu.
+func (d *Driver) reconnectPoisoned() error {
+	for _, l := range d.links {
+		if !d.isPoisoned(l) {
+			continue
+		}
+		if err := d.redial(l); err != nil {
+			return markRetryable(err)
+		}
+	}
+	return nil
+}
+
+// forwardOnce pushes hidden states through every stage, one attempt, no
+// recovery. Stream errors poison the link and return a retryable error;
+// stage-reported computation errors are permanent. Caller holds genMu.
+func (d *Driver) forwardOnce(session uint64, x *tensor.Matrix, offset int) (*tensor.Matrix, error) {
+	for i, l := range d.links {
+		if d.isPoisoned(l) {
+			return nil, markRetryable(fmt.Errorf("transport: stage %d (%s) is down", i, l.addr))
+		}
+		req := Request{Session: session, Offset: offset, Rows: x.Rows, Cols: x.Cols, Data: x.Data}
+		d.armDeadline(l)
+		if err := l.enc.Encode(&req); err != nil {
+			d.poison(l, err)
+			return nil, markRetryable(fmt.Errorf("transport: stage %d send: %w", i, err))
+		}
+		var resp Response
+		if err := l.dec.Decode(&resp); err != nil {
+			d.poison(l, err)
+			return nil, markRetryable(fmt.Errorf("transport: stage %d recv: %w", i, err))
+		}
+		if resp.Code == CodeStaleSession {
+			// The stream is fine (we got a well-formed reply); only the
+			// stage's session state is gone. Replay rebuilds it.
+			return nil, markRetryable(fmt.Errorf("transport: stage %d: %w: %s", i, ErrStaleSession, resp.Err))
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("transport: stage %d: %s", i, resp.Err)
+		}
+		x = tensor.FromSlice(resp.Rows, resp.Cols, resp.Data)
+	}
+	return x, nil
+}
+
+// closeSessionLocked releases stage-side caches, skipping poisoned
+// links: writing into a desynced gob stream would feed the stage
+// garbage. Orphaned caches on unreachable stages are reclaimed by the
+// stage's idle-session TTL instead. Caller holds genMu.
+func (d *Driver) closeSessionLocked(session uint64) {
+	for _, l := range d.links {
+		if d.isPoisoned(l) {
+			continue
+		}
+		d.armDeadline(l)
+		if err := l.enc.Encode(&Request{Session: session, Close: true}); err != nil {
+			d.poison(l, err)
+			continue
+		}
+		var resp Response
+		if err := l.dec.Decode(&resp); err != nil {
+			d.poison(l, err)
+		}
+	}
+}
+
+// Ping probes every stage once with a heartbeat request, redialing
+// poisoned links first. It returns the first error observed (nil when
+// every stage answered).
+func (d *Driver) Ping() error {
+	d.genMu.Lock()
+	defer d.genMu.Unlock()
+	return d.pingLocked()
+}
+
+func (d *Driver) pingLocked() error {
+	// A ping must never wedge the supervisor: even with no IO timeout
+	// configured, the probe gets its own bounded deadline (a stage that
+	// vanished without a FIN would otherwise block the decode forever).
+	pingTO := d.ioTimeout
+	if pingTO <= 0 {
+		pingTO = time.Second
+	}
+	var firstErr error
+	record := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i, l := range d.links {
+		if d.isPoisoned(l) {
+			if err := d.redial(l); err != nil {
+				record(fmt.Errorf("transport: stage %d: %w", i, err))
+				continue
+			}
+		}
+		l.conn.SetDeadline(time.Now().Add(pingTO))
+		if err := l.enc.Encode(&Request{Ping: true}); err != nil {
+			d.poison(l, err)
+			record(fmt.Errorf("transport: stage %d ping send: %w", i, err))
+			continue
+		}
+		var resp Response
+		if err := l.dec.Decode(&resp); err != nil {
+			d.poison(l, err)
+			record(fmt.Errorf("transport: stage %d ping recv: %w", i, err))
+			continue
+		}
+		if d.ioTimeout <= 0 {
+			// Clear the probe deadline so later generations on this
+			// connection are not bounded by it.
+			l.conn.SetDeadline(time.Time{})
+		}
+	}
+	return firstErr
+}
+
+// StartHeartbeat supervises the stages in the background: every
+// interval, idle links are pinged and poisoned links redialed, so
+// failures surface (and heal) between generations. A beat that would
+// contend with a running generation is skipped — forward progress is
+// itself proof of liveness. No-op if already running or interval <= 0.
+func (d *Driver) StartHeartbeat(interval time.Duration) {
+	if interval <= 0 || d.hbStop != nil {
+		return
+	}
+	d.hbStop = make(chan struct{})
+	d.hbWG.Add(1)
+	go func() {
+		defer d.hbWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.hbStop:
+				return
+			case <-t.C:
+				if d.genMu.TryLock() {
+					d.pingLocked()
+					d.genMu.Unlock()
+				}
+			}
+		}
+	}()
+}
+
+// StopHeartbeat stops the background supervisor, if running.
+func (d *Driver) StopHeartbeat() {
+	if d.hbStop == nil {
+		return
+	}
+	close(d.hbStop)
+	d.hbWG.Wait()
+	d.hbStop = nil
+}
+
+// StageHealth snapshots every supervised link.
+func (d *Driver) StageHealth() []StageHealth {
+	out := make([]StageHealth, len(d.links))
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	for i, l := range d.links {
+		out[i] = StageHealth{
+			Addr:           l.addr,
+			Healthy:        !l.poisoned,
+			Reconnects:     l.reconnects.Load(),
+			ReplayedTokens: l.replayed.Load(),
+			FailedAttempts: l.failed.Load(),
+			LastErr:        l.lastErr,
+		}
+	}
+	return out
+}
+
+// RecoveryStats aggregates the per-stage recovery counters.
+func (d *Driver) RecoveryStats() RecoveryStats {
+	var rs RecoveryStats
+	for _, l := range d.links {
+		rs.Reconnects += l.reconnects.Load()
+		rs.FailedAttempts += l.failed.Load()
+	}
+	rs.ReplayedTokens = d.replayedTotal.Load()
+	rs.Recoveries = d.recoveries.Load()
+	return rs
+}
+
+// Close stops the heartbeat and tears down the stage connections.
+func (d *Driver) Close() {
+	d.StopHeartbeat()
+	d.genMu.Lock()
+	defer d.genMu.Unlock()
+	for _, l := range d.links {
+		if l.conn != nil {
+			l.conn.Close()
+		}
+	}
+}

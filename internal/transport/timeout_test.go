@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/gob"
 	"io"
 	"net"
 	"testing"
@@ -83,6 +84,145 @@ func TestDriverRecvTimeout(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("driver hung on a mute stage despite the IO timeout")
+	}
+}
+
+// TestCloseRacesIOTimeout: closing the server while many silent peers
+// are parked against a tiny IO deadline must not deadlock, panic, or
+// leak handlers (the deadline close and the shutdown close race).
+func TestCloseRacesIOTimeout(t *testing.T) {
+	s, err := NewStageServer(cfg, seed, nil, 0, cfg.Layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetIOTimeout(2 * time.Millisecond)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	for i := 0; i < 8; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	time.Sleep(time.Millisecond) // let deadlines start expiring mid-Close
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged while IO timeouts were firing")
+	}
+}
+
+// TestRestartSeversIdleClientAndServesNew: Restart must kill existing
+// connections, wipe sessions, and keep serving new dials on the same
+// address.
+func TestRestartSeversIdleClientAndServesNew(t *testing.T) {
+	s, err := NewStageServer(cfg, seed, nil, 0, cfg.Layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	old, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Restart(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old connection is dead: a read sees EOF/reset, not a timeout.
+	old.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := old.Read(make([]byte, 1)); err == nil {
+		t.Fatal("restart left the old connection alive")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("restart never closed the old connection")
+	}
+
+	// A fresh dial against the same address completes a full roundtrip.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	data := make([]float32, cfg.Hidden)
+	if err := enc.Encode(&Request{Session: 1, Rows: 1, Cols: cfg.Hidden, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("post-restart request failed: %s", resp.Err)
+	}
+}
+
+// TestDriverTimeoutThenCloseIsClean: after a generation fails on IO
+// timeouts (every link poisoned, budget exhausted), Close must return
+// promptly without touching the dead streams.
+func TestDriverTimeoutThenCloseIsClean(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn)
+		}
+	}()
+
+	d, err := NewDriver(cfg, seed, []string{lis.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetIOTimeout(20 * time.Millisecond)
+	d.SetRetryPolicy(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1})
+
+	if _, err := d.Generate(RandomPrompt(stats.NewRNG(3), cfg.Vocab, 4), 2); err == nil {
+		t.Fatal("mute stage should fail the generation")
+	}
+	done := make(chan struct{})
+	go func() { d.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after a timed-out generation")
 	}
 }
 

@@ -6,6 +6,14 @@
 // reproduction's analogue of SplitQuant's worker processes — stage
 // boundaries, per-stage KV caches, and activation transfers are real,
 // even though the model is small.
+//
+// The runtime is fault-tolerant: the driver supervises each stage
+// connection (supervisor.go), treats any mid-stream error as poisoning
+// the gob stream, reconnects with capped exponential backoff, and
+// replays the session's token history to rebuild stage KV caches so a
+// generation survives stage crashes and network faults bit-identically
+// (recovery.go). chaos.go provides a TCP fault-injection proxy for
+// deterministic failure testing.
 package transport
 
 import (
@@ -33,6 +41,9 @@ type Request struct {
 	Data       []float32
 	// Close releases the session's cache instead of computing.
 	Close bool
+	// Ping is a heartbeat probe: the stage replies with an empty
+	// Response without touching session state.
+	Ping bool
 }
 
 // Response carries the advanced hidden states or an error.
@@ -40,6 +51,22 @@ type Response struct {
 	Rows, Cols int
 	Data       []float32
 	Err        string
+	// Code classifies protocol-level errors the driver can react to
+	// ("" for success or generic failures).
+	Code string
+}
+
+// CodeStaleSession marks a decode request (Offset > 0) for a session
+// the stage does not know — the stage restarted or reaped the session.
+// The driver's replay path recovers from it; computing with a silently
+// fresh cache would return wrong hidden states.
+const CodeStaleSession = "stale_session"
+
+// session is one stage-side KV cache plus the bookkeeping the idle
+// reaper needs.
+type session struct {
+	cache    *tinyllm.KVCache
+	lastUsed time.Time
 }
 
 // StageServer serves ForwardBlocks for a block range of one model.
@@ -48,12 +75,19 @@ type StageServer struct {
 	lo, hi int
 
 	mu        sync.Mutex
-	sessions  map[uint64]*tinyllm.KVCache
+	sessions  map[uint64]*session
 	conns     map[net.Conn]bool
 	lis       net.Listener
+	addr      string
+	epoch     int // bumped by Restart; conns from older listeners are rejected
 	wg        sync.WaitGroup
 	closed    bool
+	quit      chan struct{}
 	ioTimeout time.Duration
+	ttl       time.Duration
+	reaped    uint64
+
+	onRequest func(*Request)
 }
 
 // NewStageServer builds a stage over blocks [lo, hi) of a model
@@ -74,7 +108,8 @@ func NewStageServer(cfg tinyllm.Config, seed uint64, bits []int, lo, hi int) (*S
 		return nil, fmt.Errorf("transport: stage range [%d, %d) of %d", lo, hi, cfg.Layers)
 	}
 	return &StageServer{model: m, lo: lo, hi: hi,
-		sessions: map[uint64]*tinyllm.KVCache{}, conns: map[net.Conn]bool{}}, nil
+		sessions: map[uint64]*session{}, conns: map[net.Conn]bool{},
+		quit: make(chan struct{})}, nil
 }
 
 // SetIOTimeout bounds each per-message read and write on stage
@@ -83,6 +118,19 @@ func NewStageServer(cfg tinyllm.Config, seed uint64, bits []int, lo, hi int) (*S
 // Zero (the default) disables deadlines. Set before Listen.
 func (s *StageServer) SetIOTimeout(d time.Duration) { s.ioTimeout = d }
 
+// SetSessionTTL enables idle-session reaping: sessions untouched for
+// longer than d are dropped so KV caches orphaned by a vanished driver
+// are reclaimed. A stale driver that later retries the session gets
+// CodeStaleSession and recovers by replay. Zero (the default) disables
+// reaping. Set before Listen.
+func (s *StageServer) SetSessionTTL(d time.Duration) { s.ttl = d }
+
+// SetRequestHook installs fn to run on every decoded request before it
+// is handled. Tests and chaos experiments use it to trigger faults at
+// deterministic protocol points (e.g. restart the stage on the k-th
+// decode request). Set before Listen.
+func (s *StageServer) SetRequestHook(fn func(*Request)) { s.onRequest = fn }
+
 // Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port)
 // and returns the bound address.
 func (s *StageServer) Listen(addr string) (string, error) {
@@ -90,30 +138,106 @@ func (s *StageServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.mu.Lock()
 	s.lis = lis
+	s.addr = lis.Addr().String()
+	epoch := s.epoch
 	s.wg.Add(1)
-	go s.acceptLoop()
-	return lis.Addr().String(), nil
+	if s.ttl > 0 {
+		s.wg.Add(1)
+		go s.reapLoop()
+	}
+	s.mu.Unlock()
+	go s.acceptLoop(lis, epoch)
+	return s.addr, nil
 }
 
-func (s *StageServer) acceptLoop() {
+func (s *StageServer) acceptLoop(lis net.Listener, epoch int) {
 	defer s.wg.Done()
 	for {
-		conn, err := s.lis.Accept()
+		conn, err := lis.Accept()
 		if err != nil {
 			return // listener closed
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(conn, epoch)
 		}()
 	}
 }
 
-func (s *StageServer) serveConn(conn net.Conn) {
+// reapLoop periodically drops idle sessions.
+func (s *StageServer) reapLoop() {
+	defer s.wg.Done()
+	tick := s.ttl / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.ReapIdleSessions()
+		}
+	}
+}
+
+// ReapIdleSessions drops sessions idle longer than the configured TTL
+// now and returns how many were reclaimed. The reap loop calls it
+// periodically; tests call it directly for determinism.
+func (s *StageServer) ReapIdleSessions() int {
 	s.mu.Lock()
-	if s.closed {
+	defer s.mu.Unlock()
+	if s.ttl <= 0 {
+		return 0
+	}
+	now := time.Now()
+	n := 0
+	for id, sess := range s.sessions {
+		if now.Sub(sess.lastUsed) > s.ttl {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	s.reaped += uint64(n)
+	return n
+}
+
+// ReapedSessions returns how many idle sessions the TTL reaper has
+// reclaimed.
+func (s *StageServer) ReapedSessions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reaped
+}
+
+// SessionCount returns the number of live sessions (KV caches) held.
+func (s *StageServer) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// DropSessions discards every session unconditionally, as a crash
+// would. Tests use it to simulate state loss without a full restart.
+func (s *StageServer) DropSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.sessions)
+	s.sessions = map[uint64]*session{}
+	return n
+}
+
+func (s *StageServer) serveConn(conn net.Conn, epoch int) {
+	s.mu.Lock()
+	if s.closed || epoch != s.epoch {
+		// Either shutting down, or this conn was accepted from a
+		// listener a Restart has since replaced: it must not survive
+		// the restart (it would see pre-crash session state).
 		s.mu.Unlock()
 		conn.Close()
 		return
@@ -136,6 +260,9 @@ func (s *StageServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed, corrupt, or timed out
 		}
+		if h := s.onRequest; h != nil {
+			h(&req)
+		}
 		resp := s.handle(&req)
 		if s.ioTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
@@ -148,6 +275,9 @@ func (s *StageServer) serveConn(conn net.Conn) {
 
 // handle advances one request through the stage's blocks.
 func (s *StageServer) handle(req *Request) *Response {
+	if req.Ping {
+		return &Response{}
+	}
 	if req.Close {
 		s.mu.Lock()
 		delete(s.sessions, req.Session)
@@ -158,23 +288,80 @@ func (s *StageServer) handle(req *Request) *Response {
 		return &Response{Err: fmt.Sprintf("transport: payload %d for %dx%d", len(req.Data), req.Rows, req.Cols)}
 	}
 	s.mu.Lock()
-	cache, ok := s.sessions[req.Session]
+	sess, ok := s.sessions[req.Session]
 	if !ok {
-		cache = s.model.NewCache()
-		s.sessions[req.Session] = cache
+		if req.Offset > 0 {
+			// A decode request for a session we never prefetched: the
+			// stage restarted or reaped it. Computing with an empty KV
+			// cache would silently return wrong hidden states, so
+			// reject with a typed code the driver's replay handles.
+			s.mu.Unlock()
+			return &Response{Code: CodeStaleSession,
+				Err: fmt.Sprintf("transport: unknown session %d at offset %d (stage restarted or session reaped)", req.Session, req.Offset)}
+		}
+		sess = &session{cache: s.model.NewCache()}
+		s.sessions[req.Session] = sess
 	}
+	sess.lastUsed = time.Now()
 	s.mu.Unlock()
 	x := tensor.FromSlice(req.Rows, req.Cols, req.Data)
-	out, err := s.model.ForwardBlocks(s.lo, s.hi, x, cache, req.Offset)
+	out, err := s.model.ForwardBlocks(s.lo, s.hi, x, sess.cache, req.Offset)
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
 	return &Response{Rows: out.Rows, Cols: out.Cols, Data: out.Data}
 }
 
+// Restart simulates a crash-and-replace: it severs every connection,
+// discards all sessions (KV caches), and resumes listening on the same
+// address with the same weights. Drivers mid-generation observe a
+// poisoned stream, reconnect, and replay. Safe to call from a request
+// hook (it does not wait for in-flight handlers).
+func (s *StageServer) Restart() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("transport: restart after close")
+	}
+	lis := s.lis
+	addr := s.addr
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.sessions = map[uint64]*session{}
+	s.epoch++
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	if addr == "" {
+		return errors.New("transport: restart before listen")
+	}
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: rebind %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nl.Close()
+		return errors.New("transport: restart raced close")
+	}
+	s.lis = nl
+	epoch := s.epoch
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.acceptLoop(nl, epoch)
+	return nil
+}
+
 // Close stops the listener, force-closes open connections (so a silent
 // peer blocked in a read cannot wedge shutdown), and waits for in-flight
-// handlers to drain.
+// handlers and the reaper to drain.
 func (s *StageServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -182,148 +369,22 @@ func (s *StageServer) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.quit)
+	lis := s.lis
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
 	var err error
-	if s.lis != nil {
-		err = s.lis.Close()
+	if lis != nil {
+		err = lis.Close()
 	}
 	for _, c := range conns {
 		c.Close()
 	}
 	s.wg.Wait()
 	return err
-}
-
-// Driver is the master engine: it owns the embeddings and LM head and
-// drives a chain of remote stages.
-type Driver struct {
-	model     *tinyllm.Model
-	conns     []net.Conn
-	encs      []*gob.Encoder
-	decs      []*gob.Decoder
-	next      uint64
-	ioTimeout time.Duration
-}
-
-// SetIOTimeout bounds each per-message send and receive against the
-// stage servers; a stage that stops responding fails the generation with
-// a timeout error instead of hanging the driver. Zero (the default)
-// disables deadlines.
-func (d *Driver) SetIOTimeout(t time.Duration) { d.ioTimeout = t }
-
-// deadline arms the per-message deadline on one stage connection.
-func (d *Driver) deadline(i int) {
-	if d.ioTimeout > 0 {
-		d.conns[i].SetDeadline(time.Now().Add(d.ioTimeout))
-	}
-}
-
-// NewDriver reconstructs the master model from (cfg, seed) and connects
-// to the stage servers in pipeline order.
-func NewDriver(cfg tinyllm.Config, seed uint64, stageAddrs []string) (*Driver, error) {
-	if len(stageAddrs) == 0 {
-		return nil, errors.New("transport: no stages")
-	}
-	m, err := tinyllm.New(cfg, seed)
-	if err != nil {
-		return nil, err
-	}
-	d := &Driver{model: m, next: 1}
-	for _, addr := range stageAddrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			d.Close()
-			return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-		}
-		d.conns = append(d.conns, conn)
-		d.encs = append(d.encs, gob.NewEncoder(conn))
-		d.decs = append(d.decs, gob.NewDecoder(conn))
-	}
-	return d, nil
-}
-
-// forward pushes hidden states through every stage.
-func (d *Driver) forward(session uint64, x *tensor.Matrix, offset int) (*tensor.Matrix, error) {
-	for i := range d.conns {
-		req := Request{Session: session, Offset: offset, Rows: x.Rows, Cols: x.Cols, Data: x.Data}
-		d.deadline(i)
-		if err := d.encs[i].Encode(&req); err != nil {
-			return nil, fmt.Errorf("transport: stage %d send: %w", i, err)
-		}
-		var resp Response
-		if err := d.decs[i].Decode(&resp); err != nil {
-			return nil, fmt.Errorf("transport: stage %d recv: %w", i, err)
-		}
-		if resp.Err != "" {
-			return nil, fmt.Errorf("transport: stage %d: %s", i, resp.Err)
-		}
-		x = tensor.FromSlice(resp.Rows, resp.Cols, resp.Data)
-	}
-	return x, nil
-}
-
-// Generate runs prompt through the distributed pipeline and greedily
-// decodes n tokens, returning the generated token ids.
-func (d *Driver) Generate(prompt []int, n int) ([]int, error) {
-	if len(prompt) == 0 || n < 0 {
-		return nil, fmt.Errorf("transport: bad generate request (%d prompt tokens, n=%d)", len(prompt), n)
-	}
-	session := d.next
-	d.next++
-	defer d.closeSession(session)
-
-	x, err := d.model.Embed(prompt, 0)
-	if err != nil {
-		return nil, err
-	}
-	h, err := d.forward(session, x, 0)
-	if err != nil {
-		return nil, err
-	}
-	logits := d.model.Logits(h)
-	out := make([]int, 0, n)
-	tok := tensor.ArgmaxRow(logits.Row(logits.Rows - 1))
-	pos := len(prompt)
-	for len(out) < n {
-		out = append(out, tok)
-		if pos >= d.model.Cfg.MaxPos {
-			break
-		}
-		x, err := d.model.Embed([]int{tok}, pos)
-		if err != nil {
-			return nil, err
-		}
-		h, err := d.forward(session, x, pos)
-		if err != nil {
-			return nil, err
-		}
-		tok = tensor.ArgmaxRow(d.model.Logits(h).Row(0))
-		pos++
-	}
-	return out, nil
-}
-
-// closeSession releases stage-side caches.
-func (d *Driver) closeSession(session uint64) {
-	for i := range d.conns {
-		d.deadline(i)
-		if err := d.encs[i].Encode(&Request{Session: session, Close: true}); err != nil {
-			continue
-		}
-		var resp Response
-		_ = d.decs[i].Decode(&resp)
-	}
-}
-
-// Close tears down the stage connections.
-func (d *Driver) Close() {
-	for _, c := range d.conns {
-		c.Close()
-	}
 }
 
 // Reference generates the same tokens on a single in-process model, for
