@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet test-race check bench
+.PHONY: build test vet test-race check bench bench-json bench-json-out
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,16 @@ check: vet test-race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Gate the committed benchmark snapshot: fails when BENCH_replan.json
+# was generated from different benchmark scenarios than the checked-out
+# code (stale), or when the warm-vs-cold replan speedup has regressed
+# more than 25% below the committed ratio. Only ratios are compared, so
+# the gate is machine-independent.
+bench-json:
+	$(GO) run ./cmd/benchjson -check BENCH_replan.json
+
+# Regenerate the committed snapshot (run after changing the planner,
+# the replan engine, or the tracked scenarios; commit the result).
+bench-json-out:
+	$(GO) run ./cmd/benchjson -out BENCH_replan.json

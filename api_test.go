@@ -47,18 +47,30 @@ func TestSentinelErrors(t *testing.T) {
 	}
 }
 
-// TestWithMethodString keeps the deprecated string-based option working.
-func TestWithMethodString(t *testing.T) {
-	sys, err := New("opt-13b", Preset(9), WithMethodString("uniform"))
+// TestPerCallOptions: a PlanOption on an individual call overrides the
+// System default for that call only.
+func TestPerCallOptions(t *testing.T) {
+	sys, err := New("opt-13b", Preset(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := sys.Plan(FixedWorkload(16, 256, 16), 16)
+	w := FixedWorkload(16, 256, 16)
+	uni, err := sys.Plan(w, 16, WithMethod(MethodUniform))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if dep.Method() != string(MethodUniform) {
-		t.Fatalf("method = %q", dep.Method())
+	if uni.Method() != string(MethodUniform) {
+		t.Fatalf("per-call method = %q, want %q", uni.Method(), MethodUniform)
+	}
+	dep, err := sys.Plan(w, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Method() != string(MethodHeuristic) {
+		t.Fatalf("default method leaked: %q", dep.Method())
+	}
+	if _, err := sys.Plan(w, 16, WithMethod("genetic")); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("per-call unknown method: err = %v, want ErrUnknownMethod", err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	splitquant "repro"
 	"repro/internal/experiments"
 	"repro/internal/lp"
+	"repro/internal/perf"
 	"repro/internal/quant"
 	"repro/internal/stats"
 	"repro/internal/tensor"
@@ -225,6 +226,32 @@ func BenchmarkPlanParallelSpeedup(b *testing.B) {
 	if par > 0 {
 		b.ReportMetric(float64(seq)/float64(par), "speedup")
 	}
+}
+
+// BenchmarkReplanLatency runs the tracked seeded-churn scenario from
+// internal/perf: a fixed sequence of degraded preset-5 topologies, each
+// solved cold (fresh System) and warm (Replan seeded with the previous
+// round's deployment on a Fork of the original System). The scenario
+// itself asserts bit-identical plans and exact pruning accounting; the
+// benchmark additionally enforces the tracked floor of a 5× warm
+// speedup. cmd/benchjson snapshots the same measurement into
+// BENCH_replan.json (regenerate with make bench-json-out).
+func BenchmarkReplanLatency(b *testing.B) {
+	var last *perf.ReplanResult
+	for i := 0; i < b.N; i++ {
+		res, err := perf.ReplanLatency(context.Background(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Speedup < 5 {
+			b.Fatalf("warm replan speedup %.2f× below the tracked 5× floor (cold %.3fs, warm %.3fs)",
+				res.Speedup, res.ColdSeconds, res.WarmSeconds)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ColdSeconds*1e3/float64(last.Rounds), "cold_ms/replan")
+	b.ReportMetric(last.WarmSeconds*1e3/float64(last.Rounds), "warm_ms/replan")
+	b.ReportMetric(last.Speedup, "speedup")
 }
 
 func BenchmarkSimulatePipeline(b *testing.B) {

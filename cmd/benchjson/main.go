@@ -1,0 +1,133 @@
+// Command benchjson maintains BENCH_replan.json, the committed snapshot
+// of the repo's tracked benchmarks (internal/perf): replan latency
+// under seeded cluster churn, planner parallel speedup, and serve
+// throughput.
+//
+//	benchjson -out BENCH_replan.json      # regenerate the snapshot
+//	benchjson -check BENCH_replan.json    # CI gate: staleness + regression
+//
+// The check mode fails when the committed snapshot was generated from
+// different benchmark scenarios than the checked-out code measures
+// (config fingerprint mismatch — regenerate with -out), or when the
+// current warm-vs-cold replan speedup has regressed more than 25% below
+// the committed one. Only ratios are compared, never absolute seconds,
+// so snapshots and checks may run on different machines.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/perf"
+)
+
+// regressionTolerance is how far the measured warm-vs-cold replan
+// speedup may fall below the committed snapshot before -check fails.
+const regressionTolerance = 0.25
+
+// snapshot is the BENCH_replan.json document.
+type snapshot struct {
+	// Config fingerprints the benchmark scenarios (see
+	// perf.ConfigFingerprint); a mismatch means the snapshot is stale.
+	Config   string               `json:"config"`
+	Replan   *perf.ReplanResult   `json:"replan_latency"`
+	Parallel *perf.ParallelResult `json:"plan_parallel_speedup"`
+	Serve    *perf.ServeResult    `json:"serve_throughput"`
+}
+
+func main() {
+	out := flag.String("out", "", "write a fresh snapshot of all three benchmarks to this file")
+	check := flag.String("check", "", "verify a committed snapshot: fail on staleness or replan-latency regression")
+	jobs := flag.Int("jobs", 20, "jobs per serve-throughput arm (with -out)")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fatal(fmt.Errorf("exactly one of -out or -check is required"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *out != "" {
+		if err := write(ctx, *out, *jobs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := verify(ctx, *check); err != nil {
+		fatal(err)
+	}
+}
+
+// write runs all three benchmarks and writes the snapshot.
+func write(ctx context.Context, path string, jobs int) error {
+	snap := snapshot{Config: perf.ConfigFingerprint()}
+	var err error
+	fmt.Fprintln(os.Stderr, "benchjson: measuring replan latency (seeded churn)...")
+	if snap.Replan, err = perf.ReplanLatency(ctx, 0); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: measuring planner parallel speedup...")
+	if snap.Parallel, err = perf.PlanParallelSpeedup(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: measuring serve throughput...")
+	if snap.Serve, err = perf.ServeThroughput(ctx, jobs); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("replan:   %.1f× warm speedup (cold %.3fs, warm %.3fs, %d pruned, %d memo hits)\n",
+		snap.Replan.Speedup, snap.Replan.ColdSeconds, snap.Replan.WarmSeconds,
+		snap.Replan.PrunedWarm, snap.Replan.MemoHits)
+	fmt.Printf("parallel: %.1f× on %d CPUs\n", snap.Parallel.Speedup, snap.Parallel.Workers)
+	fmt.Printf("serve:    %.1f cold / %.1f warm jobs/sec\n", snap.Serve.ColdJobsPerSec, snap.Serve.WarmJobsPerSec)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// verify re-measures the replan-latency scenario and gates it against
+// the committed snapshot.
+func verify(ctx context.Context, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want := perf.ConfigFingerprint(); snap.Config != want {
+		return fmt.Errorf("%s is stale: snapshot config %s, code measures %s — regenerate with `make bench-json-out`",
+			path, snap.Config, want)
+	}
+	if snap.Replan == nil || snap.Replan.Speedup <= 0 {
+		return fmt.Errorf("%s: no committed replan speedup to gate against", path)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: re-measuring replan latency (seeded churn)...")
+	cur, err := perf.ReplanLatency(ctx, 0)
+	if err != nil {
+		return err
+	}
+	floor := snap.Replan.Speedup * (1 - regressionTolerance)
+	if cur.Speedup < floor {
+		return fmt.Errorf("replan latency regressed: warm speedup %.2f× is more than %.0f%% below the committed %.2f× (floor %.2f×)",
+			cur.Speedup, regressionTolerance*100, snap.Replan.Speedup, floor)
+	}
+	fmt.Printf("replan speedup %.2f× (committed %.2f×, floor %.2f×): ok\n",
+		cur.Speedup, snap.Replan.Speedup, floor)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -94,7 +94,7 @@ func main() {
 	fmt.Printf("\nmakespan: %.1fs across %d pools\n", sched.Makespan, len(resources))
 
 	if *faults {
-		if err := replanUnderFaults(ctx, trace, *faultSeed, jobs, resources, sched.Makespan); err != nil {
+		if err := replanUnderFaults(ctx, trace, *faultSeed, jobs, resources, sched); err != nil {
 			fatal(err)
 		}
 	}
@@ -103,8 +103,10 @@ func main() {
 // replanUnderFaults derives the preemption schedule the online tier
 // would impose over the baseline makespan, shrinks every pool by each
 // class's peak concurrent outage, and re-plans the job mix on what is
-// left.
-func replanUnderFaults(ctx context.Context, trace *fleet.Trace, seed uint64, jobs []scheduler.Job, resources []scheduler.Resource, baseMakespan float64) error {
+// left — warm-started from the baseline schedule's plans, so the
+// degraded solve prunes most of the configuration space.
+func replanUnderFaults(ctx context.Context, trace *fleet.Trace, seed uint64, jobs []scheduler.Job, resources []scheduler.Resource, baseline *scheduler.Schedule) error {
+	baseMakespan := baseline.Makespan
 	horizon := time.Duration(baseMakespan * float64(time.Second))
 	if horizon <= 0 {
 		horizon = time.Minute
@@ -165,9 +167,9 @@ func replanUnderFaults(ctx context.Context, trace *fleet.Trace, seed uint64, job
 		fmt.Printf("degraded %-14s %-26s availability %.0f%%\n", r.Name, r.Cluster, r.Availability*100)
 	}
 
-	sched, err := scheduler.Build(ctx, jobs, degraded, scheduler.Options{
+	sched, err := scheduler.Rebuild(ctx, jobs, degraded, scheduler.Options{
 		Planner: core.Options{Method: core.MethodHeuristic, Theta: 1, OrderingLimit: 4},
-	})
+	}, baseline)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@
 //	splitquant -model opt-30b -cluster 5 -workload summarization -batch 32
 //	splitquant -model opt-66b -cluster 7 -method uniform -json
 //	splitquant -model qwen2.5-14b -nodes "a:V100-32G:2,b:A100-40G:1" -workload chat
+//	splitquant -model opt-30b -cluster 5 -o plan.json          # save the plan
+//	splitquant -model opt-30b -cluster 5 -warm plan.json       # re-plan warm from it
 //
 // Clusters come from the paper's Table III presets (-cluster 1..10) or a
 // custom -nodes spec of comma-separated name:gpu:count triples.
@@ -41,6 +43,7 @@ func main() {
 		progress  = flag.Bool("progress", false, "print live planning progress to stderr")
 		asJSON    = flag.Bool("json", false, "emit the plan as JSON")
 		planOut   = flag.String("o", "", "also write the reloadable plan (planner wire format) to this file")
+		warmFrom  = flag.String("warm", "", "warm-start from a previous plan file (written with -o), pruning the search")
 		list      = flag.Bool("models", false, "list model architectures and exit")
 	)
 	flag.Parse()
@@ -88,9 +91,27 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q", *wk))
 	}
 
-	dep, err := sys.PlanContext(ctx, w, *batch)
-	if err != nil {
-		fatal(err)
+	var dep *splitquant.Deployment
+	if *warmFrom != "" {
+		f, err := os.Open(*warmFrom)
+		if err != nil {
+			fatal(err)
+		}
+		prev, err := sys.ReadPlanJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		dep, err = sys.Replan(ctx, prev, w, *batch)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		dep, err = sys.PlanContext(ctx, w, *batch)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *progress {
 		fmt.Fprintln(os.Stderr)
@@ -120,6 +141,9 @@ func main() {
 	note := ""
 	if st.Cancelled {
 		note = "   (cancelled: best incumbent)"
+	}
+	if st.WarmStarted {
+		note += fmt.Sprintf("   (warm: %d pruned, %d cost-cache hits)", st.PrunedConfigs, st.CostCacheHits)
 	}
 	fmt.Printf("quality:  Σω = %.4f   planning: %.2fs over %d configs%s\n",
 		dep.QualityPenalty(), dep.PlanningSeconds(), st.Configs, note)

@@ -17,6 +17,12 @@ type Deployment struct {
 	plan   *plan.Plan
 	batch  workload.Batch
 	report *core.Report
+	// key identifies the solved problem (cluster fingerprint, batch,
+	// plan-affecting options) for Replan's reuse fast paths.
+	key memoKey
+	// reused marks a deployment answered from a previous plan or the
+	// plan memo instead of a fresh solve.
+	reused bool
 }
 
 // StageInfo summarizes one pipeline stage for callers.
@@ -81,6 +87,22 @@ type PlanStats struct {
 	// cancellation and the deployment is the best incumbent found, not
 	// the full search result.
 	Cancelled bool
+	// WarmStarted reports that a Replan call adapted the previous plan
+	// onto the current topology and seeded the search with it.
+	WarmStarted bool
+	// PrunedConfigs counts configurations a warm-started search skipped
+	// because their optimistic bound proved they could not enter the
+	// shortlist. Configs + PrunedConfigs equals the cold enumeration.
+	PrunedConfigs int
+	// CostCacheHits and CostCacheMisses count per-device cost
+	// evaluations served by (respectively computed into) the System's
+	// shared cost cache during this solve.
+	CostCacheHits   int64
+	CostCacheMisses int64
+	// Reused reports that no search ran at all: Replan answered from the
+	// unchanged previous deployment or from the System's plan memo. The
+	// remaining fields then describe the original solve.
+	Reused bool
 	// ConfigStats holds per-configuration solver statistics in canonical
 	// enumeration order.
 	ConfigStats []ConfigStat
@@ -90,12 +112,17 @@ type PlanStats struct {
 // this deployment.
 func (d *Deployment) Stats() PlanStats {
 	st := PlanStats{
-		Configs:      d.report.Configs,
-		ILPSolves:    d.report.ILPSolves,
-		Nodes:        d.report.Nodes,
-		SolveSeconds: d.report.SolveSeconds,
-		Proved:       d.report.Proved,
-		Cancelled:    d.report.Cancelled,
+		Configs:         d.report.Configs,
+		ILPSolves:       d.report.ILPSolves,
+		Nodes:           d.report.Nodes,
+		SolveSeconds:    d.report.SolveSeconds,
+		Proved:          d.report.Proved,
+		Cancelled:       d.report.Cancelled,
+		WarmStarted:     d.report.WarmStarted,
+		PrunedConfigs:   d.report.PrunedConfigs,
+		CostCacheHits:   d.report.CostCacheHits,
+		CostCacheMisses: d.report.CostCacheMisses,
+		Reused:          d.reused,
 	}
 	for _, c := range d.report.ConfigStats {
 		st.ConfigStats = append(st.ConfigStats, ConfigStat(c))

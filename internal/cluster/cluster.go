@@ -21,7 +21,23 @@ const (
 	// 100 Gbps and 800 Gbps inter-node Ethernet fabrics.
 	Eth100BW = 100e9 / 8 * 0.8
 	Eth800BW = 800e9 / 8 * 0.8
+
+	// effBytesPerGbps is the single conversion factor between a nominal
+	// fabric speed in Gbps and the effective bandwidth in bytes/second
+	// (wire bits → bytes at 80% efficiency). Both conversion directions
+	// use this one constant (an exact power of ten, 1e8), so a
+	// Gbps → bytes/s → Gbps round trip is lossless for every
+	// representable Gbps value: x*1e8/1e8 == x whenever x*1e8 does not
+	// overflow, and the preset bandwidths divide 1e8 exactly.
+	effBytesPerGbps = 1e9 / 8 * 0.8
 )
+
+// BandwidthFromGbps converts a nominal fabric speed in Gbps to the
+// effective bandwidth in bytes/second used throughout this package.
+func BandwidthFromGbps(gbps float64) float64 { return gbps * effBytesPerGbps }
+
+// GbpsFromBandwidth is the exact inverse of BandwidthFromGbps.
+func GbpsFromBandwidth(bw float64) float64 { return bw / effBytesPerGbps }
 
 // Node is one physical machine holding identical GPUs.
 type Node struct {

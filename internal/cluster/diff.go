@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/gpu"
+)
+
+// ClassDelta is the device count of one class before and after a
+// topology change.
+type ClassDelta struct {
+	Before, After int
+}
+
+// TopologyDiff describes how one cluster differs from another. The
+// incremental planner uses it to decide how much of a previous search
+// survives a preemption or restore: an Identical diff means a prior plan
+// for the old topology is directly reusable, and an intact class
+// composition means every per-(class, precision, phase, shape) cost
+// evaluation stays valid, so a re-plan only re-solves the assignment,
+// never the cost model.
+type TopologyDiff struct {
+	// Identical reports that the two clusters have equal fingerprints —
+	// same nodes, classes, counts, derating, and interconnects.
+	Identical bool
+	// InterBWChanged reports a changed inter-node fabric bandwidth.
+	InterBWChanged bool
+	// Classes maps every device class present in either cluster to its
+	// before/after device count.
+	Classes map[gpu.DeviceClass]ClassDelta
+	// Changed lists the classes whose device count changed, sorted.
+	Changed []gpu.DeviceClass
+	// Removed and Added are the total device counts lost and gained.
+	Removed, Added int
+}
+
+// CompositionIntact reports that the per-class device totals and the
+// fabric bandwidth are unchanged (the node layout may still differ —
+// e.g. a shrink on one node compensated by a restore on another).
+func (d TopologyDiff) CompositionIntact() bool {
+	return !d.InterBWChanged && len(d.Changed) == 0
+}
+
+// Diff compares two cluster topologies. Either argument may be nil (a
+// fully reclaimed pool): the diff then reports every device of the other
+// cluster as added or removed.
+func Diff(old, new *Cluster) TopologyDiff {
+	d := TopologyDiff{Classes: map[gpu.DeviceClass]ClassDelta{}}
+	if old != nil {
+		for _, n := range old.Nodes {
+			cd := d.Classes[n.Class]
+			cd.Before += n.Count
+			d.Classes[n.Class] = cd
+		}
+	}
+	if new != nil {
+		for _, n := range new.Nodes {
+			cd := d.Classes[n.Class]
+			cd.After += n.Count
+			d.Classes[n.Class] = cd
+		}
+	}
+	for class, cd := range d.Classes {
+		if cd.After < cd.Before {
+			d.Removed += cd.Before - cd.After
+		}
+		if cd.After > cd.Before {
+			d.Added += cd.After - cd.Before
+		}
+		if cd.After != cd.Before {
+			d.Changed = append(d.Changed, class)
+		}
+	}
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i] < d.Changed[j] })
+	switch {
+	case old == nil && new == nil:
+		d.Identical = true
+	case old == nil || new == nil:
+		d.InterBWChanged = false
+	default:
+		d.InterBWChanged = old.InterBW != new.InterBW
+		d.Identical = old.Fingerprint() == new.Fingerprint()
+	}
+	return d
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// The Gbps → bytes/s → Gbps conversion must be lossless for every
+// preset: ClusterSpec.Preset at the root package round-trips the fabric
+// bandwidth through these helpers, and any drift would change the
+// cluster fingerprint (and thus plan-cache identity) between a preset
+// and its rebuilt ClusterSpec.
+func TestBandwidthConversionRoundTripsAllPresets(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		c := MustPreset(n)
+		gbps := GbpsFromBandwidth(c.InterBW)
+		if back := BandwidthFromGbps(gbps); back != c.InterBW {
+			t.Errorf("preset %d: %.17g bytes/s -> %.17g Gbps -> %.17g bytes/s", n, c.InterBW, gbps, back)
+		}
+	}
+	// And for the nominal speeds a user would type into a ClusterSpec.
+	for _, gbps := range []float64{1, 10, 25, 40, 100, 200, 400, 800, 3.5} {
+		if back := GbpsFromBandwidth(BandwidthFromGbps(gbps)); back != gbps {
+			t.Errorf("%.17g Gbps -> bytes/s -> %.17g Gbps", gbps, back)
+		}
+	}
+	if BandwidthFromGbps(100) != Eth100BW || BandwidthFromGbps(800) != Eth800BW {
+		t.Errorf("helpers disagree with the Eth100BW/Eth800BW constants")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := MustPreset(5), MustPreset(5)
+	d := Diff(a, b)
+	if !d.Identical || !d.CompositionIntact() || d.Removed != 0 || d.Added != 0 {
+		t.Fatalf("identical clusters: %+v", d)
+	}
+}
+
+func TestDiffShrink(t *testing.T) {
+	a := MustPreset(5) // 3xT4 + 1xV100
+	b, err := a.Shrink(gpu.T4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, b)
+	if d.Identical || d.CompositionIntact() {
+		t.Fatalf("shrunk cluster reported intact: %+v", d)
+	}
+	if d.Removed != 2 || d.Added != 0 {
+		t.Fatalf("removed=%d added=%d, want 2/0", d.Removed, d.Added)
+	}
+	if len(d.Changed) != 1 || d.Changed[0] != gpu.T4 {
+		t.Fatalf("changed classes %v, want [T4-16G]", d.Changed)
+	}
+	if cd := d.Classes[gpu.T4]; cd.Before != 3 || cd.After != 1 {
+		t.Fatalf("T4 delta %+v, want {3 1}", cd)
+	}
+	if cd := d.Classes[gpu.V100]; cd.Before != 1 || cd.After != 1 {
+		t.Fatalf("V100 delta %+v, want {1 1}", cd)
+	}
+	// Restore: the reverse diff reports the devices as added.
+	r := Diff(b, a)
+	if r.Added != 2 || r.Removed != 0 {
+		t.Fatalf("restore diff removed=%d added=%d, want 0/2", r.Removed, r.Added)
+	}
+}
+
+func TestDiffCompositionIntactDespiteLayoutChange(t *testing.T) {
+	// Same class totals, different node layout: not Identical (device IDs
+	// differ), but composition-intact (all cost evaluations stay valid).
+	a := &Cluster{Name: "a", InterBW: Eth800BW, Nodes: []Node{
+		{Name: "n0", Class: gpu.T4, Count: 2, IntraBW: NVLinkBW},
+		{Name: "n1", Class: gpu.T4, Count: 2, IntraBW: NVLinkBW},
+	}}
+	b := &Cluster{Name: "b", InterBW: Eth800BW, Nodes: []Node{
+		{Name: "n0", Class: gpu.T4, Count: 3, IntraBW: NVLinkBW},
+		{Name: "n1", Class: gpu.T4, Count: 1, IntraBW: NVLinkBW},
+	}}
+	d := Diff(a, b)
+	if d.Identical {
+		t.Fatalf("different layouts reported identical")
+	}
+	if !d.CompositionIntact() {
+		t.Fatalf("intact composition not detected: %+v", d)
+	}
+}
+
+func TestDiffInterBWChange(t *testing.T) {
+	a, b := MustPreset(5), MustPreset(5)
+	b.InterBW = Eth100BW
+	d := Diff(a, b)
+	if !d.InterBWChanged || d.CompositionIntact() || d.Identical {
+		t.Fatalf("fabric change not detected: %+v", d)
+	}
+}
+
+func TestDiffNil(t *testing.T) {
+	a := MustPreset(5)
+	d := Diff(a, nil)
+	if d.Identical || d.Removed != a.TotalDevices() || d.Added != 0 {
+		t.Fatalf("diff vs nil: %+v", d)
+	}
+	d = Diff(nil, a)
+	if d.Identical || d.Added != a.TotalDevices() || d.Removed != 0 {
+		t.Fatalf("nil vs diff: %+v", d)
+	}
+	if d = Diff(nil, nil); !d.Identical {
+		t.Fatalf("nil vs nil not identical: %+v", d)
+	}
+}

@@ -66,6 +66,12 @@ type Options struct {
 	// ablation D1 of DESIGN.md, modeling prior encoder-oriented
 	// partitioners.
 	PrefillOnlyObjective bool
+	// Costs, when non-nil, memoizes per-(device, bitwidth, phase, shape)
+	// latency evaluations across configurations and across searches (see
+	// CostCache). Sharing one cache between re-plans of a churning fleet
+	// is safe — cached values are bitwise-identical to direct evaluation —
+	// and is where most of Replan's speedup comes from.
+	Costs *CostCache
 	// Parallelism bounds the worker pool that fans the independent
 	// (mesh, ordering, η, ξ) candidate solves across CPUs: 0 means one
 	// worker per available CPU (runtime.GOMAXPROCS), 1 forces a
@@ -125,6 +131,18 @@ type Report struct {
 	// exceeded) mid-plan and the returned plan is the best incumbent
 	// found so far, not the full search result.
 	Cancelled bool
+	// WarmStarted reports that the search was seeded from a previous
+	// plan (see Assigner.Replan): the incumbent's objective primed the
+	// pruning threshold and candidate evaluation order.
+	WarmStarted bool
+	// PrunedConfigs counts configurations skipped because their
+	// optimistic bound proved they could not enter the shortlist. They
+	// appear in ConfigStats with Pruned set.
+	PrunedConfigs int
+	// CostCacheHits and CostCacheMisses are the Options.Costs counter
+	// deltas attributable to this solve (approximate when several
+	// searches share one cache concurrently; zero without a cache).
+	CostCacheHits, CostCacheMisses int64
 	// ConfigStats holds per-configuration solver statistics in canonical
 	// enumeration order (search sweep first, then one entry per ILP
 	// polish solve). Entries for configurations skipped due to
@@ -242,7 +260,7 @@ func (a *Assigner) searchConfigs(B int) []planConfig {
 // buildConfigCosts assembles (and for the D1 ablation, masks) the cost
 // tables of one candidate configuration.
 func (a *Assigner) buildConfigCosts(cfg planConfig, batch workload.Batch) *orderingCosts {
-	oc := buildCosts(a.spec, a.clu, cfg.devs, a.opts.Bits, batch, cfg.eta, cfg.xi, a.opts.BitKV)
+	oc := buildCosts(a.spec, a.clu, cfg.devs, a.opts.Bits, batch, cfg.eta, cfg.xi, a.opts.BitKV, a.opts.Costs)
 	if a.opts.PrefillOnlyObjective {
 		for j := range oc.dec {
 			for bi := range oc.dec[j] {
@@ -266,6 +284,24 @@ func (a *Assigner) buildConfigCosts(cfg planConfig, batch workload.Batch) *order
 // graceful degradation as the ILP TimeLimit; otherwise Plan returns
 // ctx.Err().
 func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, *Report, error) {
+	return a.Replan(ctx, batch, nil)
+}
+
+// Replan is Plan warm-started from a previous deployment. The incumbent
+// plan seeds the search: it is adapted onto the current topology
+// (preempted devices donate their layers to the nearest surviving
+// stage), its objective primes an optimistic-bound pruning threshold,
+// and the surviving candidate configurations are evaluated closest-to-
+// incumbent first. Pruning is shortlist-safe — a configuration is
+// skipped only once its bound proves it cannot enter the ILP shortlist
+// of a cold search — so a completed Replan returns a plan bit-identical
+// to Plan on the same inputs; only the work spent differs (see
+// Report.WarmStarted, PrunedConfigs, CostCacheHits).
+//
+// A nil incumbent (or one that cannot be expressed on the current
+// cluster — no surviving devices, changed bit set) degrades to a cold
+// search. Baseline methods (uniform, het) ignore the incumbent.
+func (a *Assigner) Replan(ctx context.Context, batch workload.Batch, inc *Incumbent) (*plan.Plan, *Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -274,6 +310,24 @@ func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, 
 		return nil, nil, err
 	}
 	rep := &Report{}
+	var hits0, misses0 int64
+	if c := a.opts.Costs; c != nil {
+		hits0, misses0 = c.Hits(), c.Misses()
+	}
+	p, err := a.solve(ctx, batch, inc, rep)
+	if c := a.opts.Costs; c != nil {
+		rep.CostCacheHits = c.Hits() - hits0
+		rep.CostCacheMisses = c.Misses() - misses0
+	}
+	rep.SolveSeconds = time.Since(start).Seconds()
+	if p != nil {
+		p.SolveSeconds = rep.SolveSeconds
+	}
+	return p, rep, err
+}
+
+// solve dispatches to the method's search strategy.
+func (a *Assigner) solve(ctx context.Context, batch workload.Batch, inc *Incumbent, rep *Report) (*plan.Plan, error) {
 	theta := a.opts.Theta
 	sink := newProgressSink(a.opts.Progress, math.Inf(1))
 
@@ -281,17 +335,44 @@ func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, 
 	case MethodUniform:
 		p, err := a.baselinePlan(ctx, batch, rep, sink, uniform, string(MethodUniform))
 		rep.Cancelled = ctx.Err() != nil
-		rep.SolveSeconds = time.Since(start).Seconds()
-		return p, rep, err
+		return p, err
 	case MethodHet:
 		p, err := a.baselinePlan(ctx, batch, rep, sink, het, string(MethodHet))
 		rep.Cancelled = ctx.Err() != nil
-		rep.SolveSeconds = time.Since(start).Seconds()
-		return p, rep, err
+		return p, err
 	}
 
-	// Phase 1: heuristic sweep over every candidate configuration.
 	configs := a.searchConfigs(batch.Size)
+	if inc != nil && inc.Plan != nil && len(configs) > 0 {
+		if p, err, ok := a.warmSolve(ctx, batch, configs, inc.Plan, rep, sink, theta); ok {
+			return p, err
+		}
+	}
+	return a.coldSolve(ctx, batch, configs, rep, sink, theta)
+}
+
+// solveConfig runs the heuristic sweep body for one configuration with
+// prebuilt cost tables — shared verbatim by the cold and warm paths, so
+// both produce identical candidates for identical configurations.
+func (a *Assigner) solveConfig(oc *orderingCosts, key string, theta float64) (*candidate, ConfigStat) {
+	stat := ConfigStat{Key: key, Objective: math.Inf(1)}
+	var cand *candidate
+	if as := a.bestStart(oc, theta); as != nil {
+		ev := evaluate(as, oc, a.ind, theta)
+		if ev.Feasible && !(a.opts.QualityCap > 0 && ev.Quality > a.opts.QualityCap+1e-9) {
+			cand = &candidate{oc: oc, as: as, ev: ev, key: key}
+			stat.Feasible = true
+			stat.Objective = ev.Objective
+		}
+	}
+	return cand, stat
+}
+
+// coldSolve is the exhaustive phase-1 sweep over every candidate
+// configuration.
+func (a *Assigner) coldSolve(ctx context.Context, batch workload.Batch, configs []planConfig,
+	rep *Report, sink *progressSink, theta float64) (*plan.Plan, error) {
+
 	type searchResult struct {
 		done bool
 		cand *candidate
@@ -304,18 +385,8 @@ func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, 
 			return
 		}
 		t0 := time.Now()
-		cfg := configs[i]
-		stat := ConfigStat{Key: cfg.key(), Objective: math.Inf(1)}
-		oc := a.buildConfigCosts(cfg, batch)
-		var cand *candidate
-		if as := a.bestStart(oc, theta); as != nil {
-			ev := evaluate(as, oc, a.ind, theta)
-			if ev.Feasible && !(a.opts.QualityCap > 0 && ev.Quality > a.opts.QualityCap+1e-9) {
-				cand = &candidate{oc: oc, as: as, ev: ev, key: stat.Key}
-				stat.Feasible = true
-				stat.Objective = ev.Objective
-			}
-		}
+		oc := a.buildConfigCosts(configs[i], batch)
+		cand, stat := a.solveConfig(oc, configs[i].key(), theta)
 		stat.Seconds = time.Since(t0).Seconds()
 		results[i] = searchResult{done: true, cand: cand, stat: stat}
 		sink.finished(stat)
@@ -334,13 +405,176 @@ func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, 
 			cands = append(cands, *results[i].cand)
 		}
 	}
+	return a.finishJoint(ctx, cands, batch, rep, sink, theta)
+}
+
+// warmSolve is the incremental search: evaluate the configurations whose
+// optimistic bound beats the incumbent, then expand the evaluated set
+// until no pruned configuration could still enter the shortlist (a
+// fixpoint on the k-th best candidate objective). Returns ok=false —
+// leaving the caller to run the cold sweep — when the incumbent cannot
+// be adapted to the current topology or is infeasible under it.
+func (a *Assigner) warmSolve(ctx context.Context, batch workload.Batch, configs []planConfig,
+	prev *plan.Plan, rep *Report, sink *progressSink, theta float64) (*plan.Plan, error, bool) {
+
+	seed := adaptIncumbent(prev, configs, a.ind, a.opts.Bits)
+	if seed == nil {
+		return nil, nil, false
+	}
+
+	// Every configuration's cost tables are needed for the bounds; under
+	// the shared cost cache this is far cheaper than the heuristic
+	// solves it lets the search skip.
+	ocs := make([]*orderingCosts, len(configs))
+	runPool(ctx, a.parallelism(), len(configs), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		ocs[i] = a.buildConfigCosts(configs[i], batch)
+	})
+	for i := range ocs {
+		if ocs[i] == nil {
+			return nil, nil, false // cancelled mid-build; cold path reports it
+		}
+	}
+
+	seedEv := evaluate(seed.as, ocs[seed.cfg], a.ind, theta)
+	if !seedEv.Feasible || (a.opts.QualityCap > 0 && seedEv.Quality > a.opts.QualityCap+1e-9) {
+		return nil, nil, false
+	}
+	rep.WarmStarted = true
+
+	bounds := make([]float64, len(configs))
+	for i := range configs {
+		bounds[i] = optimisticBound(ocs[i], a.ind, theta)
+	}
+
+	// The shortlist depth a cold search would polish: pruning must prove
+	// a configuration cannot reach *any* of those slots, not just the
+	// winner's.
+	K := 1
+	if a.opts.Method == MethodILP {
+		K = a.opts.ILPCandidates
+	}
+
+	type warmResult struct {
+		done bool
+		cand *candidate
+		stat ConfigStat
+	}
+	results := make([]warmResult, len(configs))
+	evaluated := make([]bool, len(configs))
+
+	// kth re-derives the K-th best evaluated candidate objective — the
+	// pruning threshold a cold search's shortlist implies.
+	kth := func() float64 {
+		var objs []float64
+		for i := range results {
+			if results[i].done && results[i].cand != nil {
+				objs = append(objs, results[i].cand.ev.Objective)
+			}
+		}
+		return kthBestObjective(objs, K)
+	}
+
+	// Evaluation proceeds in fixed-size chunks ordered by distance from
+	// the incumbent, and the admission threshold tightens after every
+	// chunk: once the incumbent's neighborhood has produced a strong
+	// candidate, configurations the seed objective alone could not rule
+	// out are pruned without ever being evaluated. The chunk size is a
+	// constant (not the worker count) so the evaluated set — and the
+	// reported pruning accounting — is machine-independent. The final
+	// fixpoint check below re-admits anything the tightened threshold
+	// wrongly excluded, so the shortlist stays bit-identical to cold.
+	const warmChunk = 8
+	threshold := seedEv.Objective
+	sink.startPhase(PhaseSearch, len(configs))
+	for ctx.Err() == nil {
+		var pending []int
+		for i := range configs {
+			if !evaluated[i] && bounds[i] <= threshold+boundEps {
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			// Fixpoint check: admit every pruned configuration whose bound
+			// still reaches the K-th best evaluated objective. No growth
+			// means no pruned configuration can appear in a cold search's
+			// shortlist.
+			k := kth()
+			grew := false
+			for i := range configs {
+				if !evaluated[i] && bounds[i] <= k+boundEps {
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+			threshold = k
+			continue
+		}
+		order := warmOrder(pending, configs, seed.cfg)
+		if len(order) > warmChunk {
+			order = order[:warmChunk]
+		}
+		runPool(ctx, a.parallelism(), len(order), func(k int) {
+			if ctx.Err() != nil {
+				return
+			}
+			i := order[k]
+			t0 := time.Now()
+			cand, stat := a.solveConfig(ocs[i], configs[i].key(), theta)
+			stat.Seconds = time.Since(t0).Seconds()
+			results[i] = warmResult{done: true, cand: cand, stat: stat}
+			sink.finished(stat)
+		})
+		for _, i := range order {
+			if results[i].done {
+				evaluated[i] = true
+			}
+		}
+		if k := kth(); k < threshold {
+			threshold = k
+		}
+	}
+
+	// Canonical-order merge; pruned configurations are recorded (and
+	// fired to the progress sink) so ConfigStats still covers the whole
+	// enumeration.
+	var cands []candidate
+	for i := range results {
+		if results[i].done {
+			rep.Configs++
+			rep.ConfigStats = append(rep.ConfigStats, results[i].stat)
+			if results[i].cand != nil {
+				cands = append(cands, *results[i].cand)
+			}
+			continue
+		}
+		if ctx.Err() == nil {
+			stat := ConfigStat{Key: configs[i].key(), Objective: math.Inf(1), Pruned: true}
+			rep.PrunedConfigs++
+			rep.ConfigStats = append(rep.ConfigStats, stat)
+			sink.finished(stat)
+		}
+	}
+	p, err := a.finishJoint(ctx, cands, batch, rep, sink, theta)
+	return p, err, true
+}
+
+// finishJoint ranks the merged candidates, runs the ILP polish, and
+// converts the winner to a plan — the tail shared by the cold and warm
+// searches.
+func (a *Assigner) finishJoint(ctx context.Context, cands []candidate, batch workload.Batch,
+	rep *Report, sink *progressSink, theta float64) (*plan.Plan, error) {
+
 	if len(cands) == 0 {
-		rep.SolveSeconds = time.Since(start).Seconds()
 		if err := ctx.Err(); err != nil {
 			rep.Cancelled = true
-			return nil, rep, err
+			return nil, err
 		}
-		return nil, rep, fmt.Errorf("core: no feasible configuration for %s on %s (B=%d): %w",
+		return nil, fmt.Errorf("core: no feasible configuration for %s on %s (B=%d): %w",
 			a.spec.Name, a.clu.Name, batch.Size, ErrInfeasible)
 	}
 	// Shortlist by heuristic objective (stable: ties keep enumeration
@@ -349,86 +583,94 @@ func (a *Assigner) Plan(ctx context.Context, batch workload.Batch) (*plan.Plan, 
 	best := cands[0]
 	method := string(a.opts.Method)
 
-	// Phase 2: ILP polish of the shortlist, also fanned across the pool.
-	// The merge below replays the sequential accept-if-better scan in
-	// shortlist order, so the winning candidate (and Report.Proved) match
-	// a sequential run exactly.
 	if a.opts.Method == MethodILP && ctx.Err() == nil {
-		limit := a.opts.ILPCandidates
-		if limit > len(cands) {
-			limit = len(cands)
-		}
-		type polishResult struct {
-			done bool
-			as   *assignment
-			sol  *ilp.Solution
-			err  error
-			stat ConfigStat
-		}
-		polished := make([]polishResult, limit)
-		sink.startPhase(PhasePolish, limit)
-		runPool(ctx, a.parallelism(), limit, func(c int) {
-			if ctx.Err() != nil {
-				return
-			}
-			t0 := time.Now()
-			cfg := ilpConfig{
-				GroupSize:  a.groupSizeFor(),
-				TimeLimit:  a.opts.TimeLimit,
-				MaxNodes:   a.opts.MaxNodes,
-				QualityCap: a.opts.QualityCap,
-				WarmStart:  cands[c].as,
-			}
-			as, sol, err := solveILP(ctx, cands[c].oc, a.ind, theta, cfg)
-			stat := ConfigStat{Key: cands[c].key, ILPSolves: 1, Objective: math.Inf(1)}
-			if sol != nil {
-				stat.Nodes = sol.Nodes
-			}
-			if err == nil && as != nil {
-				if ev := evaluate(as, cands[c].oc, a.ind, theta); ev.Feasible {
-					stat.Feasible = true
-					stat.Objective = ev.Objective
-				}
-			}
-			stat.Seconds = time.Since(t0).Seconds()
-			polished[c] = polishResult{done: true, as: as, sol: sol, err: err, stat: stat}
-			sink.finished(stat)
-		})
-		for c := 0; c < limit; c++ {
-			if !polished[c].done {
-				continue
-			}
-			if polished[c].err != nil {
-				rep.SolveSeconds = time.Since(start).Seconds()
-				return nil, rep, polished[c].err
-			}
-			rep.ILPSolves++
-			rep.ConfigStats = append(rep.ConfigStats, polished[c].stat)
-			sol := polished[c].sol
-			if sol != nil {
-				rep.Nodes += sol.Nodes
-			}
-			as := polished[c].as
-			if as == nil {
-				continue
-			}
-			ev := evaluate(as, cands[c].oc, a.ind, theta)
-			if ev.Feasible && ev.Objective < best.ev.Objective-1e-12 {
-				best = candidate{oc: cands[c].oc, as: as, ev: ev, key: cands[c].key}
-				rep.Proved = sol != nil && sol.Proved
-			}
+		var err error
+		best, err = a.polishShortlist(ctx, cands, best, rep, sink, theta)
+		if err != nil {
+			return nil, err
 		}
 	}
 	rep.Cancelled = ctx.Err() != nil
 
 	p, err := toPlan(best.as, best.oc, a.ind, theta, method, a.opts.BitKV)
 	if err != nil {
-		return nil, rep, err
+		return nil, err
 	}
 	p.Model = a.spec.Name
-	rep.SolveSeconds = time.Since(start).Seconds()
-	p.SolveSeconds = rep.SolveSeconds
-	return p, rep, nil
+	return p, nil
+}
+
+// polishShortlist is phase 2: the ILP refinement of the shortlisted
+// candidates, fanned across the pool. The merge replays the sequential
+// accept-if-better scan in shortlist order, so the winning candidate
+// (and Report.Proved) match a sequential run exactly.
+func (a *Assigner) polishShortlist(ctx context.Context, cands []candidate, best candidate,
+	rep *Report, sink *progressSink, theta float64) (candidate, error) {
+
+	limit := a.opts.ILPCandidates
+	if limit > len(cands) {
+		limit = len(cands)
+	}
+	type polishResult struct {
+		done bool
+		as   *assignment
+		sol  *ilp.Solution
+		err  error
+		stat ConfigStat
+	}
+	polished := make([]polishResult, limit)
+	sink.startPhase(PhasePolish, limit)
+	runPool(ctx, a.parallelism(), limit, func(c int) {
+		if ctx.Err() != nil {
+			return
+		}
+		t0 := time.Now()
+		cfg := ilpConfig{
+			GroupSize:  a.groupSizeFor(),
+			TimeLimit:  a.opts.TimeLimit,
+			MaxNodes:   a.opts.MaxNodes,
+			QualityCap: a.opts.QualityCap,
+			WarmStart:  cands[c].as,
+		}
+		as, sol, err := solveILP(ctx, cands[c].oc, a.ind, theta, cfg)
+		stat := ConfigStat{Key: cands[c].key, ILPSolves: 1, Objective: math.Inf(1)}
+		if sol != nil {
+			stat.Nodes = sol.Nodes
+		}
+		if err == nil && as != nil {
+			if ev := evaluate(as, cands[c].oc, a.ind, theta); ev.Feasible {
+				stat.Feasible = true
+				stat.Objective = ev.Objective
+			}
+		}
+		stat.Seconds = time.Since(t0).Seconds()
+		polished[c] = polishResult{done: true, as: as, sol: sol, err: err, stat: stat}
+		sink.finished(stat)
+	})
+	for c := 0; c < limit; c++ {
+		if !polished[c].done {
+			continue
+		}
+		if polished[c].err != nil {
+			return best, polished[c].err
+		}
+		rep.ILPSolves++
+		rep.ConfigStats = append(rep.ConfigStats, polished[c].stat)
+		sol := polished[c].sol
+		if sol != nil {
+			rep.Nodes += sol.Nodes
+		}
+		as := polished[c].as
+		if as == nil {
+			continue
+		}
+		ev := evaluate(as, cands[c].oc, a.ind, theta)
+		if ev.Feasible && ev.Objective < best.ev.Objective-1e-12 {
+			best = candidate{oc: cands[c].oc, as: as, ev: ev, key: cands[c].key}
+			rep.Proved = sol != nil && sol.Proved
+		}
+	}
+	return best, nil
 }
 
 // bestStart builds the heuristic solution for one configuration: the
@@ -552,7 +794,7 @@ func (a *Assigner) baselinePlan(ctx context.Context, batch workload.Batch, rep *
 		t0 := time.Now()
 		cfg := configs[i]
 		r := baseResult{done: true, lat: math.Inf(1), stat: ConfigStat{Key: cfg.key(), Objective: math.Inf(1)}}
-		oc := buildCosts(a.spec, a.clu, cfg.devs, a.opts.Bits, batch, cfg.eta, cfg.xi, a.opts.BitKV)
+		oc := buildCosts(a.spec, a.clu, cfg.devs, a.opts.Bits, batch, cfg.eta, cfg.xi, a.opts.BitKV, a.opts.Costs)
 		if as, err := build(oc, a.ind); err == nil {
 			ev := evaluate(as, oc, a.ind, 0) // baselines ignore θ
 			if ev.Feasible {

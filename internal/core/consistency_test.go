@@ -44,7 +44,7 @@ func TestEvaluatorTracksSimulator(t *testing.T) {
 	for trial := 0; trial < 40 && checked < 12; trial++ {
 		batch := workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: rng.IntRange(4, 48)}
 		eta := []int{2, 4, 8}[rng.Intn(3)]
-		oc := buildCosts(spec, clu, devs, []int{3, 4, 8, 16}, batch, eta, eta, 16)
+		oc := buildCosts(spec, clu, devs, []int{3, 4, 8, 16}, batch, eta, eta, 16, nil)
 		// Random contiguous assignment.
 		as := &assignment{stageOf: make([]int, spec.Layers), bitIdx: make([]int, spec.Layers)}
 		cut1 := rng.IntRange(1, spec.Layers-3)

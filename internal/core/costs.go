@@ -46,8 +46,12 @@ type orderingCosts struct {
 }
 
 // buildCosts assembles the cost tables for one candidate configuration.
+// The per-(device, bitwidth, phase, shape) latency evaluations are
+// memoized through costs when non-nil; orderings of the same mesh (and
+// re-plans on overlapping topologies) then share all device tables and
+// only the adjacency-dependent communication terms are recomputed.
 func buildCosts(spec *model.Spec, clu *cluster.Cluster, devs []cluster.Device,
-	bits []int, batch workload.Batch, eta, xi, bitKV int) *orderingCosts {
+	bits []int, batch workload.Batch, eta, xi, bitKV int, costs *CostCache) *orderingCosts {
 
 	mm := costmodel.MemoryModel{}
 	oc := &orderingCosts{devs: devs, bits: bits, batch: batch, eta: eta, xi: xi}
@@ -62,8 +66,8 @@ func buildCosts(spec *model.Spec, clu *cluster.Cluster, devs []cluster.Device,
 		oc.pre[j] = make([]float64, len(bits))
 		oc.dec[j] = make([]float64, len(bits))
 		for bi, b := range bits {
-			oc.pre[j][bi] = devPrefill(d, spec, eta, batch.ChunkLen, b)
-			oc.dec[j][bi] = devDecode(d, spec, xi, midCtx, b, bitKV)
+			oc.pre[j][bi] = cachedPrefill(costs, d, spec, eta, batch.ChunkLen, b)
+			oc.dec[j][bi] = cachedDecode(costs, d, spec, xi, midCtx, b, bitKV)
 		}
 		budget := d.UsableMemory() - mm.ActivationBytes(spec, eta, batch.ChunkLen)
 		if j == 0 {

@@ -79,7 +79,7 @@ func TestILPMatchesBruteForce(t *testing.T) {
 	batch := workload.Batch{Size: 8, ChunkLen: 256, Chunks: 1, GenTokens: 8}
 
 	for _, theta := range []float64{0, 1, 50} {
-		oc := buildCosts(tinySpec, clu, devs, bits, batch, 4, 4, 16)
+		oc := buildCosts(tinySpec, clu, devs, bits, batch, 4, 4, 16, nil)
 		want, wantAs := bruteForceBest(oc, ind, theta)
 		if wantAs == nil {
 			t.Fatal("brute force found nothing feasible")
@@ -113,7 +113,7 @@ func TestHeuristicNearBruteForce(t *testing.T) {
 	bits := []int{4, 16}
 	ind := ProfileIndicator(tinySpec, bits, quant.Deterministic)
 	batch := workload.Batch{Size: 8, ChunkLen: 256, Chunks: 1, GenTokens: 8}
-	oc := buildCosts(tinySpec, clu, devs, bits, batch, 4, 4, 16)
+	oc := buildCosts(tinySpec, clu, devs, bits, batch, 4, 4, 16, nil)
 	want, _ := bruteForceBest(oc, ind, 1)
 
 	start, err := adabits(oc, ind)
@@ -138,7 +138,7 @@ func TestBruteForceMemoryConstraintRespected(t *testing.T) {
 	bits := []int{16}
 	ind := ProfileIndicator(tinySpec, bits, quant.Deterministic)
 	batch := workload.Batch{Size: 4096, ChunkLen: 2000, Chunks: 1, GenTokens: 48}
-	oc := buildCosts(tinySpec, clu, devs, bits, batch, 64, 64, 16)
+	oc := buildCosts(tinySpec, clu, devs, bits, batch, 64, 64, 16, nil)
 	obj, as := bruteForceBest(oc, ind, 1)
 	if !math.IsInf(obj, 1) || as != nil {
 		t.Fatalf("expected infeasible, got %v", obj)

@@ -118,12 +118,30 @@ type Schedule struct {
 // Options configures schedule construction.
 type Options struct {
 	// Planner options applied to every (job, resource) planning call.
+	// When Planner.Costs is nil, Build installs one cost cache shared by
+	// every pairing of the build, so jobs planned repeatedly against the
+	// same pool reuse each other's per-device cost evaluations.
 	Planner core.Options
 }
 
 // Build plans every feasible (job, resource) pairing and assigns jobs
 // greedily (longest minimum-duration first) to minimize makespan.
 func Build(ctx context.Context, jobs []Job, resources []Resource, opts Options) (*Schedule, error) {
+	return build(ctx, jobs, resources, opts, nil)
+}
+
+// Rebuild is Build warm-started from a previous schedule: each job's
+// previous plan (wherever it ran) seeds the search on every candidate
+// resource, so re-planning after a fleet change — pools shrunk by
+// preemption, or restored afterwards — prunes most of the configuration
+// space instead of searching cold. The resulting schedule is identical
+// to what Build would produce on the same inputs. A nil prev degrades
+// to Build.
+func Rebuild(ctx context.Context, jobs []Job, resources []Resource, opts Options, prev *Schedule) (*Schedule, error) {
+	return build(ctx, jobs, resources, opts, prev)
+}
+
+func build(ctx context.Context, jobs []Job, resources []Resource, opts Options, prev *Schedule) (*Schedule, error) {
 	if len(jobs) == 0 || len(resources) == 0 {
 		return nil, fmt.Errorf("scheduler: need at least one job and one resource")
 	}
@@ -149,6 +167,17 @@ func Build(ctx context.Context, jobs []Job, resources []Resource, opts Options) 
 	if pOpts.Theta == 0 {
 		pOpts.Theta = 1
 	}
+	if pOpts.Costs == nil {
+		pOpts.Costs = core.NewCostCache()
+	}
+
+	// Previous plans by job ID, for warm-started pairings.
+	prevPlan := map[string]*plan.Plan{}
+	if prev != nil {
+		for _, a := range prev.Assignments {
+			prevPlan[a.JobID] = a.Plan
+		}
+	}
 
 	// Plan all pairings.
 	type option struct {
@@ -165,14 +194,18 @@ func Build(ctx context.Context, jobs []Job, resources []Resource, opts Options) 
 		if err != nil {
 			return nil, err
 		}
+		ind := core.ProfileIndicator(spec, bitsOf(pOpts), quant.Deterministic)
+		var inc *core.Incumbent
+		if p := prevPlan[job.ID]; p != nil {
+			inc = &core.Incumbent{Plan: p}
+		}
 		for ri := range resources {
 			res := &resources[ri]
-			ind := core.ProfileIndicator(spec, bitsOf(pOpts), quant.Deterministic)
 			a, err := core.New(spec, res.Cluster, ind, pOpts)
 			if err != nil {
 				return nil, err
 			}
-			p, _, err := a.Plan(ctx, job.Batch)
+			p, _, err := a.Replan(ctx, job.Batch, inc)
 			if err != nil {
 				// A canceled context surfaces as a plan error on every
 				// pairing; distinguish it from genuine infeasibility so

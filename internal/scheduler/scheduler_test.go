@@ -174,3 +174,55 @@ func TestBigJobsAvoidSlowClusters(t *testing.T) {
 		}
 	}
 }
+
+// TestRebuildMatchesBuildOnDegradedFleet: warm-starting a re-plan from
+// the previous schedule must produce exactly the schedule a cold Build
+// finds on the degraded fleet.
+func TestRebuildMatchesBuildOnDegradedFleet(t *testing.T) {
+	jobs := []Job{
+		{ID: "summarize-13b", Model: "opt-13b", Batch: fixedBatch(32), Requests: 320},
+		{ID: "classify-1.3b", Model: "opt-1.3b", Batch: fixedBatch(32), Requests: 640},
+	}
+	full := testResources()
+	prev, err := Build(context.Background(), jobs, full, fastPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade every pool by one device of its first class.
+	var degraded []Resource
+	for _, r := range full {
+		clu := r.Cluster
+		for _, nd := range clu.Nodes {
+			next, err := clu.Shrink(nd.Class, 1)
+			if err == nil {
+				clu = next
+				break
+			}
+		}
+		if clu.TotalDevices() == 0 {
+			continue
+		}
+		degraded = append(degraded, Resource{Name: r.Name, Cluster: clu, Availability: r.Availability})
+	}
+	cold, err := Build(context.Background(), jobs, degraded, fastPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Rebuild(context.Background(), jobs, degraded, fastPlanner(), prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Assignments) != len(cold.Assignments) {
+		t.Fatalf("warm placed %d jobs, cold %d", len(warm.Assignments), len(cold.Assignments))
+	}
+	for i := range warm.Assignments {
+		w, c := warm.Assignments[i], cold.Assignments[i]
+		if w.JobID != c.JobID || w.Resource != c.Resource || w.Plan.String() != c.Plan.String() {
+			t.Fatalf("assignment %d differs:\nwarm %s on %s: %s\ncold %s on %s: %s",
+				i, w.JobID, w.Resource, w.Plan, c.JobID, c.Resource, c.Plan)
+		}
+	}
+	if warm.Makespan != cold.Makespan {
+		t.Fatalf("makespan differs: warm %v cold %v", warm.Makespan, cold.Makespan)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/scheduler"
+	"repro/internal/workload"
 )
 
 // TestChaosPreemptionReplanE2E is the acceptance scenario for
@@ -419,5 +420,92 @@ func TestNoLostWakeupUnderMixedFeasibility(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
+	}
+}
+
+// TestCacheKeyIncludesPoolGeneration is the regression for the restore
+// staleness hazard: a preempt/restore cycle returns the pool to its
+// original composition fingerprint, but the replan after the restore
+// must not trust a plan cached for an earlier incarnation of the pool.
+// The key therefore carries the pool generation.
+func TestCacheKeyIncludesPoolGeneration(t *testing.T) {
+	opts := core.Options{Method: core.MethodHeuristic, Theta: 1}
+	batch := workload.Batch{Size: 16, ChunkLen: 512, Chunks: 1, GenTokens: 16}
+	fp := cluster.MustPreset(9).Fingerprint()
+	k0 := cacheKey("opt-1.3b", fp, 0, batch, opts)
+	k2 := cacheKey("opt-1.3b", fp, 2, batch, opts)
+	if k0 == k2 {
+		t.Fatalf("cache key ignores the pool generation: %s", k0)
+	}
+	if cacheKey("opt-1.3b", fp, 0, batch, opts) != k0 {
+		t.Fatal("cache key not deterministic")
+	}
+}
+
+// TestRestoreReplansFreshGeneration runs the full cycle end to end: a
+// job survives a preemption (gen 1) and a restore (gen 2) at batch
+// boundaries. The post-restore replan must solve under the generation-2
+// key — distinct from the pre-preemption generation-0 entry for the
+// same composition — and the plan cached there must be the full-cluster
+// plan, not the degraded one.
+func TestRestoreReplansFreshGeneration(t *testing.T) {
+	cfg := Config{
+		Resources: []scheduler.Resource{
+			{Name: "pool9", Cluster: cluster.MustPreset(9), Availability: 1}, // 4×V100
+		},
+		CacheCapacity: 16,
+		Planner:       core.Options{Method: core.MethodHeuristic, Theta: 1, OrderingLimit: 4},
+	}
+	var preemptOnce, restoreOnce sync.Once
+	var srv *Server
+	cfg.BatchHook = func(jobID string, done, total int) {
+		switch done {
+		case 2:
+			preemptOnce.Do(func() {
+				if _, err := srv.Fleet().Preempt("pool9", gpu.V100, 2); err != nil {
+					t.Errorf("preempt: %v", err)
+				}
+			})
+		case 4:
+			restoreOnce.Do(func() {
+				if _, err := srv.Fleet().Restore("pool9", gpu.V100, 2); err != nil {
+					t.Errorf("restore: %v", err)
+				}
+			})
+		}
+	}
+	srv, c := startServer(t, cfg)
+	defer shutdown(t, srv)
+
+	v, err := c.Submit(JobSpec{Model: "opt-1.3b", Batch: 16, Requests: 128}) // 8 batches
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	v, err = c.Wait(ctx, v.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateCompleted || v.BatchesDone != 8 {
+		t.Fatalf("job = %+v", v)
+	}
+	if v.Replans < 2 {
+		t.Fatalf("preempt + restore should each force a replan, got %d", v.Replans)
+	}
+
+	fullFP := cluster.MustPreset(9).Fingerprint()
+	var gen0, gen2 bool
+	for _, key := range srv.cache.Keys() {
+		if strings.Contains(key, fullFP) && strings.Contains(key, "|gen0|") {
+			gen0 = true
+		}
+		if strings.Contains(key, fullFP) && strings.Contains(key, "|gen2|") {
+			gen2 = true
+		}
+	}
+	if !gen0 || !gen2 {
+		t.Fatalf("restored replan must cache under its own generation (gen0=%v gen2=%v): %v",
+			gen0, gen2, srv.cache.Keys())
 	}
 }

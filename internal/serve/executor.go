@@ -108,6 +108,7 @@ func (s *Server) jobOptions(j *job) core.Options {
 		opts.Method = core.Method(j.spec.Method)
 	}
 	opts.Progress = nil // per-config progress is not surfaced per job
+	opts.Costs = s.costs
 	return opts
 }
 
@@ -115,10 +116,13 @@ func (s *Server) jobOptions(j *job) core.Options {
 // Everything that influences the planner's decision is included, so a
 // hit is guaranteed to reproduce the plan a fresh search would find. The
 // fingerprint is the *current* cluster's — a degraded pool caches its
-// plans under its own degraded fingerprint.
-func cacheKey(modelName, fingerprint string, batch workload.Batch, opts core.Options) string {
-	return fmt.Sprintf("%s|%s|B%d.s%d.k%d.n%d.r%d|theta=%.6g|%s|bits=%v|kv=%d",
-		modelName, fingerprint, batch.Size, batch.ChunkLen, batch.Chunks, batch.GenTokens, batch.Reserve(),
+// plans under its own degraded fingerprint — and the pool generation is
+// included on top: after a preempt/restore cycle returns the pool to a
+// previously seen composition, the replan solves fresh instead of
+// trusting an entry cached for an earlier incarnation of the pool.
+func cacheKey(modelName, fingerprint string, gen uint64, batch workload.Batch, opts core.Options) string {
+	return fmt.Sprintf("%s|%s|gen%d|B%d.s%d.k%d.n%d.r%d|theta=%.6g|%s|bits=%v|kv=%d",
+		modelName, fingerprint, gen, batch.Size, batch.ChunkLen, batch.Chunks, batch.GenTokens, batch.Reserve(),
 		opts.Theta, opts.Method, opts.Bits, opts.BitKV)
 }
 
@@ -151,6 +155,10 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 	opts := s.jobOptions(j)
 	total := j.batches()
 
+	// last is the plan of the previous attempt on this pool; after a
+	// preemption or restore it warm-starts the replan on the changed
+	// topology instead of searching cold.
+	var last *plan.Plan
 	for attempt := 0; ; attempt++ {
 		snap, err := s.fleet.Snapshot(res.Name)
 		if err != nil {
@@ -166,8 +174,8 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 			return
 		}
 
-		key := cacheKey(j.mspec.Name, snap.Cluster.Fingerprint(), j.batch, opts)
-		p, hit, planSec, err := s.planFor(ctx, j, snap.Cluster, key, opts)
+		key := cacheKey(j.mspec.Name, snap.Cluster.Fingerprint(), snap.Generation, j.batch, opts)
+		p, hit, planSec, err := s.planFor(ctx, j, snap.Cluster, key, opts, last)
 		if err != nil {
 			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
 				s.cancelFinished(j)
@@ -179,6 +187,7 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 			s.fail(j, err)
 			return
 		}
+		last = p
 
 		sim, err := pipeline.Simulate(p, j.mspec, snap.Cluster, j.batch)
 		if err != nil {
@@ -246,10 +255,12 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 }
 
 // planFor returns a plan for the job on the given (possibly degraded)
-// cluster, consulting the cache first. On a miss the fresh plan is
-// serialized into the cache. Cached plans that no longer rebind or
-// validate (stale pool definition) are dropped and replanned.
-func (s *Server) planFor(ctx context.Context, j *job, clu *cluster.Cluster, key string, opts core.Options) (*plan.Plan, bool, float64, error) {
+// cluster, consulting the cache first. On a miss the solver runs —
+// warm-started from inc, the previous attempt's plan, when one exists —
+// and the fresh plan is serialized into the cache. Cached plans that no
+// longer rebind or validate (stale pool definition) are dropped and
+// replanned.
+func (s *Server) planFor(ctx context.Context, j *job, clu *cluster.Cluster, key string, opts core.Options, inc *plan.Plan) (*plan.Plan, bool, float64, error) {
 	if raw, ok := s.cache.Get(key); ok {
 		var p plan.Plan
 		if err := json.Unmarshal(raw, &p); err == nil {
@@ -266,8 +277,12 @@ func (s *Server) planFor(ctx context.Context, j *job, clu *cluster.Cluster, key 
 	if err != nil {
 		return nil, false, 0, err
 	}
+	var warm *core.Incumbent
+	if inc != nil {
+		warm = &core.Incumbent{Plan: inc}
+	}
 	t0 := time.Now()
-	p, _, err := a.Plan(ctx, j.batch)
+	p, _, err := a.Replan(ctx, j.batch, warm)
 	if err != nil {
 		return nil, false, 0, err
 	}

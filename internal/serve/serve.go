@@ -4,7 +4,8 @@
 // whose memory lower bound fits some resource pool, queues them by
 // priority and deadline, plans each (job, pool) pairing with the
 // core.Assigner — reusing plans through a persistent LRU cache keyed by
-// (model, cluster fingerprint, batch shape, θ, method) — and executes
+// (model, cluster fingerprint, pool generation, batch shape, θ, method)
+// — and executes
 // batches on the pipeline simulator across the scheduler's harvested
 // fleet resources. It is the daemon-shaped counterpart of
 // internal/scheduler's one-shot Build: where Build plans a closed job
@@ -122,6 +123,10 @@ type Server struct {
 	cfg   Config
 	cache *PlanCache
 	fleet *scheduler.FleetState
+	// costs memoizes per-device stage costs across every job, pool and
+	// replan the server performs; entries are keyed by device identity
+	// and shape, so plans are unaffected (only planning time is).
+	costs *core.CostCache
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -189,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		cache: NewPlanCache(cfg.CacheCapacity),
 		fleet: scheduler.NewFleetState(cfg.Resources),
+		costs: core.NewCostCache(),
 		jobs:  map[string]*job{},
 		busy:  map[string]bool{},
 	}

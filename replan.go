@@ -1,0 +1,238 @@
+package splitquant
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/quant"
+	"repro/internal/workload"
+)
+
+// Replan plans the workload warm-starting from a previous deployment.
+// The previous plan — typically produced on an earlier incarnation of
+// the cluster, before devices were preempted or restored — seeds the
+// search: it is adapted onto the current topology, configurations whose
+// optimistic bound proves they cannot beat the incumbent's shortlist
+// are pruned, and per-device cost evaluations hit the System's shared
+// cost cache. A completed Replan returns a plan bit-identical to a cold
+// PlanContext on the same inputs; PlanStats reports the work saved
+// (WarmStarted, PrunedConfigs, CostCacheHits).
+//
+// Three fast paths may answer without searching: when prev was planned
+// on an identical cluster for the same batch and options it is reused
+// verbatim, and when the System's plan memo already holds the answer
+// for this (cluster, batch, options) key the memoized plan is returned;
+// both report Reused=true in PlanStats. A nil prev (or one whose plan
+// cannot be expressed on the current topology at all) degrades to a
+// cold search.
+func (s *System) Replan(ctx context.Context, prev *Deployment, w Workload, batchSize int, opts ...PlanOption) (*Deployment, error) {
+	batch, err := s.synthesize(w, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	return s.replanBatch(ctx, prev, batch, opts)
+}
+
+// ReplanBatch is Replan for an explicit batch shape.
+func (s *System) ReplanBatch(ctx context.Context, prev *Deployment, batch workload.Batch, opts ...PlanOption) (*Deployment, error) {
+	return s.replanBatch(ctx, prev, batch, opts)
+}
+
+// ReadPlanJSON deserializes a plan previously written with
+// Deployment.WritePlanJSON and wraps it as a Deployment of this System,
+// primarily for use as a Replan incumbent. The plan is bound to the
+// System's cluster when its devices still exist there; an unbound plan
+// (from a since-changed topology) still seeds Replan, but methods that
+// need live devices (Stages, Measure) must not be called on it.
+func (s *System) ReadPlanJSON(r io.Reader) (*Deployment, error) {
+	var p plan.Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("splitquant: reading plan: %w", err)
+	}
+	if p.Model != "" && p.Model != s.spec.Name {
+		return nil, fmt.Errorf("splitquant: plan is for model %q, system serves %q", p.Model, s.spec.Name)
+	}
+	_ = p.Bind(s.clu) // best effort: foreign topologies stay unbound
+	return &Deployment{sys: s, plan: &p, report: &core.Report{}}, nil
+}
+
+// sharedState is the planner state a Fork family has in common: the
+// per-device cost cache, the plan memo, and the per-bit-set quality
+// indicators. All members are safe for concurrent use.
+type sharedState struct {
+	costs *core.CostCache
+
+	mu    sync.Mutex
+	inds  map[string]*core.Indicator
+	plans map[memoKey]memoEntry
+}
+
+func newSharedState() *sharedState {
+	return &sharedState{
+		costs: core.NewCostCache(),
+		inds:  map[string]*core.Indicator{},
+		plans: map[memoKey]memoEntry{},
+	}
+}
+
+// indicator returns the family's quality indicator for a candidate bit
+// set, profiling it on first use. Forks serve the same model, so the
+// bit set alone keys the cache.
+func (s *System) indicator(bits []int) *core.Indicator {
+	key := fmt.Sprint(bits)
+	sh := s.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ind := sh.inds[key]; ind != nil {
+		return ind
+	}
+	ind := core.ProfileIndicator(s.spec, bits, quant.Deterministic)
+	sh.inds[key] = ind
+	return ind
+}
+
+// memoKey identifies one solved planning problem. Everything that can
+// change the resulting plan is part of the key: the cluster topology
+// (via its fingerprint), the batch shape, and the plan-affecting
+// options.
+type memoKey struct {
+	clusterFP string
+	batch     workload.Batch
+	optsFP    string
+}
+
+// memoEntry holds a solved plan in wire form (rebound to the live
+// cluster on each hit) plus the report of the solve that produced it.
+type memoEntry struct {
+	raw []byte
+	rep *core.Report
+}
+
+// fingerprint canonicalizes the plan-affecting options. Parallelism and
+// the progress hook are deliberately excluded: they change wall-clock
+// behavior, never the plan.
+func (o *options) fingerprint() string {
+	return fmt.Sprintf("bits=%v|theta=%v|kv=%d|m=%s|tl=%v|g=%d|qc=%v|ord=%d",
+		o.bits, o.theta, o.bitKV, o.method, o.timeLimit, o.group, o.qualityCap, o.orderings)
+}
+
+// memoGet returns the memoized plan for key bound to clu, or nil.
+func (sh *sharedState) memoGet(key memoKey, clu *cluster.Cluster) (*plan.Plan, *core.Report) {
+	sh.mu.Lock()
+	e, ok := sh.plans[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, nil
+	}
+	var p plan.Plan
+	if json.Unmarshal(e.raw, &p) != nil || p.Bind(clu) != nil {
+		return nil, nil
+	}
+	return &p, e.rep
+}
+
+// memoPut stores a completed solve. Marshal failures just skip the memo.
+func (sh *sharedState) memoPut(key memoKey, p *plan.Plan, rep *core.Report) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	sh.mu.Lock()
+	sh.plans[key] = memoEntry{raw: raw, rep: rep}
+	sh.mu.Unlock()
+}
+
+// resolve applies per-call options on top of the System defaults.
+func (s *System) resolve(opts []PlanOption) (options, error) {
+	o := s.opts
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	if err := validMethod(o.method); err != nil {
+		return o, err
+	}
+	if len(o.bits) == 0 {
+		o.bits = []int{3, 4, 8, 16}
+	}
+	return o, nil
+}
+
+// coreOptions translates resolved options for the internal planner,
+// wiring in the family's shared cost cache.
+func (s *System) coreOptions(o options) core.Options {
+	co := core.Options{
+		Bits:          o.bits,
+		Theta:         o.theta,
+		BitKV:         o.bitKV,
+		Method:        o.method,
+		TimeLimit:     o.timeLimit,
+		GroupSize:     o.group,
+		QualityCap:    o.qualityCap,
+		OrderingLimit: o.orderings,
+		Parallelism:   o.parallelism,
+		Costs:         s.shared.costs,
+	}
+	if hook := o.progress; hook != nil {
+		co.Progress = func(p core.Progress) {
+			hook(PlanProgress{
+				Phase: p.Phase, Done: p.Done, Total: p.Total, BestObjective: p.BestObjective,
+				Config: ConfigStat(p.Config),
+			})
+		}
+	}
+	return co
+}
+
+// replanBatch is the single solve path behind Plan, PlanBatch, Replan
+// and ReplanBatch. prev == nil is a cold plan; otherwise the previous
+// deployment is reused verbatim (identical inputs), served from the
+// plan memo, or handed to the core solver as a warm-start incumbent.
+func (s *System) replanBatch(ctx context.Context, prev *Deployment, batch workload.Batch, planOpts []PlanOption) (*Deployment, error) {
+	o, err := s.resolve(planOpts)
+	if err != nil {
+		return nil, err
+	}
+	clusterFP := s.clu.Fingerprint()
+	optsFP := o.fingerprint()
+	key := memoKey{clusterFP: clusterFP, batch: batch, optsFP: optsFP}
+	if prev != nil && prev.plan != nil {
+		// Nothing changed since prev was planned: it is already the
+		// answer. The topology tier of that decision is cluster.Diff's
+		// Identical; the weaker CompositionIntact tier (same class
+		// counts, different layout) needs no special casing here because
+		// the shared cost cache keeps every per-(class, precision,
+		// phase, shape) evaluation valid across such changes anyway.
+		if diff := cluster.Diff(prev.sys.clu, s.clu); diff.Identical &&
+			prev.key.batch == batch && prev.key.optsFP == optsFP &&
+			prev.report != nil && !prev.report.Cancelled {
+			return &Deployment{sys: s, plan: prev.plan, batch: batch, report: prev.report, key: key, reused: true}, nil
+		}
+		if p, rep := s.shared.memoGet(key, s.clu); p != nil {
+			return &Deployment{sys: s, plan: p, batch: batch, report: rep, key: key, reused: true}, nil
+		}
+	}
+	a, err := core.New(s.spec, s.clu, s.indicator(o.bits), s.coreOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	var inc *core.Incumbent
+	if prev != nil && prev.plan != nil {
+		inc = &core.Incumbent{Plan: prev.plan}
+	}
+	p, rep, err := a.Replan(ctx, batch, inc)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Cancelled {
+		s.shared.memoPut(key, p, rep)
+	}
+	return &Deployment{sys: s, plan: p, batch: batch, report: rep, key: key}, nil
+}

@@ -20,6 +20,31 @@
 // and deadlines, returning the best incumbent plan found so far (see
 // Deployment.Stats). WithProgress streams live search progress.
 //
+// # Options per System vs. options per call
+//
+// Every planning option has one type (Option, aliased as PlanOption)
+// and two scopes. Options passed to New or Fork become the System's
+// defaults — they describe how this System plans unless told otherwise.
+// The same options passed to an individual Plan/PlanContext/Replan call
+// override the defaults for that one solve only, so a single System can
+// serve many differently-configured solves concurrently:
+//
+//	sys, _ := splitquant.New("opt-30b", splitquant.Preset(5), splitquant.WithTheta(5))
+//	fast, _ := sys.Plan(w, 32)                                // θ=5, heuristic
+//	good, _ := sys.Plan(w, 32, splitquant.WithMethod(splitquant.MethodILP))
+//
+// A System is safe for concurrent Plan/Replan calls.
+//
+// # Incremental re-planning
+//
+// Replan continues from a previous Deployment instead of starting cold:
+// the previous plan seeds the search on the current (possibly degraded
+// or restored) cluster, configurations that provably cannot beat it are
+// pruned, and per-device cost evaluations are memoized in a cache
+// shared across all solves of the System (and of its Fork variants). A
+// completed Replan returns a plan bit-identical to a cold PlanContext
+// on the same inputs — only the work spent differs (see PlanStats).
+//
 // The heavy lifting lives in the internal packages (planner, roofline
 // GPU simulator, LP/ILP solvers, tiny real-transformer quality backend);
 // this package exposes the workflow a downstream user needs.
@@ -35,7 +60,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/gpu"
 	"repro/internal/model"
-	"repro/internal/quant"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -101,7 +125,7 @@ func Preset(n int) ClusterSpec {
 	if err != nil {
 		panic(err)
 	}
-	spec := ClusterSpec{Name: c.Name, InterconnectGbps: c.InterBW * 8 / 0.8 / 1e9}
+	spec := ClusterSpec{Name: c.Name, InterconnectGbps: cluster.GbpsFromBandwidth(c.InterBW)}
 	for _, nd := range c.Nodes {
 		spec.Nodes = append(spec.Nodes, Node{Name: nd.Name, GPU: GPU(nd.Class), Count: nd.Count})
 	}
@@ -114,7 +138,7 @@ func (cs ClusterSpec) build() (*cluster.Cluster, error) {
 	if gbps == 0 {
 		gbps = 800
 	}
-	c := &cluster.Cluster{Name: cs.Name, InterBW: gbps * 1e9 / 8 * 0.8}
+	c := &cluster.Cluster{Name: cs.Name, InterBW: cluster.BandwidthFromGbps(gbps)}
 	if c.Name == "" {
 		c.Name = "cluster"
 	}
@@ -156,8 +180,14 @@ const (
 	MethodHet Method = Method(core.MethodHet)
 )
 
-// Option customizes a System.
+// Option customizes planning. Passed to New or Fork it sets a System
+// default; passed to an individual Plan/PlanContext/Replan call (see
+// PlanOption) it overrides the default for that solve only.
 type Option func(*options)
+
+// PlanOption is an Option applied to a single planning call. The two
+// names are one type: every With… constructor works in both positions.
+type PlanOption = Option
 
 type options struct {
 	bits        []int
@@ -189,13 +219,6 @@ func WithMethod(m Method) Option {
 	return func(o *options) { o.method = core.Method(m) }
 }
 
-// WithMethodString is WithMethod for a method name held in a string
-// variable (flags, config files).
-//
-// Deprecated: use WithMethod with a Method constant; untyped string
-// literals convert implicitly.
-func WithMethodString(method string) Option { return WithMethod(Method(method)) }
-
 // WithParallelism bounds the planner's worker pool. The independent
 // candidate configurations of one Plan call are solved concurrently on
 // up to n goroutines: 0 (the default) uses one worker per available CPU,
@@ -222,12 +245,15 @@ func WithQualityFloor(cap float64) Option { return func(o *options) { o.qualityC
 // WithOrderingLimit caps device-ordering enumeration (default 8).
 func WithOrderingLimit(n int) Option { return func(o *options) { o.orderings = n } }
 
-// System couples a model with a cluster and owns the planner state.
+// System couples a model with a cluster and owns the planner state:
+// default options, the quantization-quality indicator, and the caches
+// shared with its Fork variants. A System is safe for concurrent use.
 type System struct {
-	spec *model.Spec
-	clu  *cluster.Cluster
-	ind  *core.Indicator
-	opts options
+	spec   *model.Spec
+	clu    *cluster.Cluster
+	ind    *core.Indicator
+	opts   options
+	shared *sharedState
 }
 
 // New builds a System for the named model (see Models) on the cluster.
@@ -236,23 +262,50 @@ func New(modelName string, cs ClusterSpec, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(spec, cs, options{theta: 10, method: core.MethodHeuristic}, opts, nil)
+}
+
+// Fork derives a System for the same model on a different cluster (or
+// with different default options), sharing the parent's cost cache,
+// plan memo, and quality indicators. Replanning on a Fork after a
+// preemption or restore therefore reuses every per-device cost the
+// parent family has already evaluated.
+func (s *System) Fork(cs ClusterSpec, opts ...Option) (*System, error) {
+	return assemble(s.spec, cs, s.opts, opts, s.shared)
+}
+
+// assemble builds a System from resolved inputs; sh == nil allocates a
+// fresh shared-state family.
+func assemble(spec *model.Spec, cs ClusterSpec, base options, opts []Option, sh *sharedState) (*System, error) {
 	clu, err := cs.build()
 	if err != nil {
 		return nil, err
 	}
-	o := options{theta: 10, method: core.MethodHeuristic}
+	o := base
 	for _, fn := range opts {
 		fn(&o)
 	}
-	if !core.ValidMethod(o.method) {
-		return nil, fmt.Errorf("splitquant: %w %q (valid: %s, %s, %s, %s, %s)", ErrUnknownMethod, o.method,
-			MethodHeuristic, MethodILP, MethodAdabits, MethodUniform, MethodHet)
+	if err := validMethod(o.method); err != nil {
+		return nil, err
 	}
 	if len(o.bits) == 0 {
 		o.bits = []int{3, 4, 8, 16}
 	}
-	ind := core.ProfileIndicator(spec, o.bits, quant.Deterministic)
-	return &System{spec: spec, clu: clu, ind: ind, opts: o}, nil
+	if sh == nil {
+		sh = newSharedState()
+	}
+	s := &System{spec: spec, clu: clu, opts: o, shared: sh}
+	s.ind = s.indicator(o.bits)
+	return s, nil
+}
+
+// validMethod rejects unknown planning methods with ErrUnknownMethod.
+func validMethod(m core.Method) error {
+	if core.ValidMethod(m) {
+		return nil
+	}
+	return fmt.Errorf("splitquant: %w %q (valid: %s, %s, %s, %s, %s)", ErrUnknownMethod, m,
+		MethodHeuristic, MethodILP, MethodAdabits, MethodUniform, MethodHet)
 }
 
 // Model returns the architecture name served by the system.
@@ -312,6 +365,10 @@ type ConfigStat struct {
 	Nodes     int
 	// Seconds is wall-clock time spent on the configuration.
 	Seconds float64
+	// Pruned reports that a warm-started Replan skipped the
+	// configuration: its optimistic bound proved it could not beat the
+	// shortlist, so no solver work was spent on it.
+	Pruned bool
 }
 
 // Planning progress phases.
@@ -337,10 +394,11 @@ type PlanProgress struct {
 
 // Plan synthesizes a batch of batchSize concurrent requests from the
 // workload and jointly optimizes quantization bitwidths, layer
-// partitioning and micro-batch sizes for it. It is
+// partitioning and micro-batch sizes for it. Trailing PlanOptions
+// override the System defaults for this call only. It is
 // PlanContext(context.Background(), ...).
-func (s *System) Plan(w Workload, batchSize int) (*Deployment, error) {
-	return s.PlanContext(context.Background(), w, batchSize)
+func (s *System) Plan(w Workload, batchSize int, opts ...PlanOption) (*Deployment, error) {
+	return s.PlanContext(context.Background(), w, batchSize, opts...)
 }
 
 // PlanContext is Plan with cooperative cancellation. Cancelling ctx (or
@@ -348,9 +406,31 @@ func (s *System) Plan(w Workload, batchSize int) (*Deployment, error) {
 // search has already found a feasible plan the best incumbent is
 // returned (Deployment.Stats reports Cancelled=true); before that,
 // PlanContext returns ctx.Err().
-func (s *System) PlanContext(ctx context.Context, w Workload, batchSize int) (*Deployment, error) {
+func (s *System) PlanContext(ctx context.Context, w Workload, batchSize int, opts ...PlanOption) (*Deployment, error) {
+	batch, err := s.synthesize(w, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	return s.replanBatch(ctx, nil, batch, opts)
+}
+
+// PlanBatch plans for an explicit batch shape (exposed for advanced
+// callers; most should use Plan). It is
+// PlanBatchContext(context.Background(), ...).
+func (s *System) PlanBatch(batch workload.Batch, opts ...PlanOption) (*Deployment, error) {
+	return s.PlanBatchContext(context.Background(), batch, opts...)
+}
+
+// PlanBatchContext is PlanBatch with cooperative cancellation (see
+// PlanContext for the semantics).
+func (s *System) PlanBatchContext(ctx context.Context, batch workload.Batch, opts ...PlanOption) (*Deployment, error) {
+	return s.replanBatch(ctx, nil, batch, opts)
+}
+
+// synthesize turns a workload profile into the planner's batch shape.
+func (s *System) synthesize(w Workload, batchSize int) (workload.Batch, error) {
 	if w.profile == nil {
-		return nil, ErrEmptyWorkload
+		return workload.Batch{}, ErrEmptyWorkload
 	}
 	chunk := w.ChunkLen
 	if chunk == 0 {
@@ -360,51 +440,7 @@ func (s *System) PlanContext(ctx context.Context, w Workload, batchSize int) (*D
 	if maxPos == 0 || maxPos > s.spec.MaxPos {
 		maxPos = s.spec.MaxPos
 	}
-	batch, err := workload.Synthesize(w.profile, batchSize, chunk, maxPos)
-	if err != nil {
-		return nil, err
-	}
-	return s.PlanBatchContext(ctx, batch)
-}
-
-// PlanBatch plans for an explicit batch shape (exposed for advanced
-// callers; most should use Plan). It is
-// PlanBatchContext(context.Background(), ...).
-func (s *System) PlanBatch(batch workload.Batch) (*Deployment, error) {
-	return s.PlanBatchContext(context.Background(), batch)
-}
-
-// PlanBatchContext is PlanBatch with cooperative cancellation (see
-// PlanContext for the semantics).
-func (s *System) PlanBatchContext(ctx context.Context, batch workload.Batch) (*Deployment, error) {
-	opts := core.Options{
-		Bits:          s.opts.bits,
-		Theta:         s.opts.theta,
-		BitKV:         s.opts.bitKV,
-		Method:        s.opts.method,
-		TimeLimit:     s.opts.timeLimit,
-		GroupSize:     s.opts.group,
-		QualityCap:    s.opts.qualityCap,
-		OrderingLimit: s.opts.orderings,
-		Parallelism:   s.opts.parallelism,
-	}
-	if hook := s.opts.progress; hook != nil {
-		opts.Progress = func(p core.Progress) {
-			hook(PlanProgress{
-				Phase: p.Phase, Done: p.Done, Total: p.Total, BestObjective: p.BestObjective,
-				Config: ConfigStat(p.Config),
-			})
-		}
-	}
-	a, err := core.New(s.spec, s.clu, s.ind, opts)
-	if err != nil {
-		return nil, err
-	}
-	p, rep, err := a.Plan(ctx, batch)
-	if err != nil {
-		return nil, err
-	}
-	return &Deployment{sys: s, plan: p, batch: batch, report: rep}, nil
+	return workload.Synthesize(w.profile, batchSize, chunk, maxPos)
 }
 
 // QualityOf returns the indicated quality degradation Σω of a
