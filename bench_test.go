@@ -254,6 +254,26 @@ func BenchmarkReplanLatency(b *testing.B) {
 	b.ReportMetric(last.Speedup, "speedup")
 }
 
+// BenchmarkOnlineServing runs the tracked online-serving scenario from
+// internal/perf: seeded Poisson arrivals against disaggregated
+// prefill/decode pools on preset 2, continuous batching to completion
+// on the virtual clock. The reported metrics are simulation results,
+// not wall-clock timings; cmd/benchjson snapshots the same measurement
+// into BENCH_online.json (regenerate with make bench-json-out).
+func BenchmarkOnlineServing(b *testing.B) {
+	var last *perf.OnlineResult
+	for i := 0; i < b.N; i++ {
+		res, err := perf.OnlineServing(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.GoodputTPS, "goodput_tok/s")
+	b.ReportMetric(last.TTFTP50*1e3, "ttft_p50_ms")
+	b.ReportMetric(last.DeadlineHitRate*100, "slo_%")
+}
+
 func BenchmarkSimulatePipeline(b *testing.B) {
 	sys, err := splitquant.New("opt-30b", splitquant.Preset(5),
 		splitquant.WithMethod("heuristic"), splitquant.WithTheta(1))

@@ -1,17 +1,24 @@
-// Command benchjson maintains BENCH_replan.json, the committed snapshot
-// of the repo's tracked benchmarks (internal/perf): replan latency
-// under seeded cluster churn, planner parallel speedup, and serve
-// throughput.
+// Command benchjson maintains the committed benchmark snapshots:
+// BENCH_replan.json (replan latency under seeded cluster churn, planner
+// parallel speedup, serve throughput) and BENCH_online.json (the online
+// tier's SLO quantities under a fixed seeded closed-loop scenario). The
+// measurement logic lives in internal/perf.
 //
-//	benchjson -out BENCH_replan.json      # regenerate the snapshot
-//	benchjson -check BENCH_replan.json    # CI gate: staleness + regression
+//	benchjson -out BENCH_replan.json             # regenerate the replan snapshot
+//	benchjson -check BENCH_replan.json           # CI gate: staleness + regression
+//	benchjson -out-online BENCH_online.json      # regenerate the online snapshot
+//	benchjson -check-online BENCH_online.json    # CI gate: staleness + regression
 //
-// The check mode fails when the committed snapshot was generated from
-// different benchmark scenarios than the checked-out code measures
-// (config fingerprint mismatch — regenerate with -out), or when the
-// current warm-vs-cold replan speedup has regressed more than 25% below
-// the committed one. Only ratios are compared, never absolute seconds,
-// so snapshots and checks may run on different machines.
+// Flags combine, so `make bench-json` gates both files in one run. A
+// check fails when the committed snapshot was generated from different
+// benchmark scenarios than the checked-out code measures (config
+// fingerprint mismatch — regenerate with -out / -out-online), or on
+// regression past tolerance: the warm-vs-cold replan speedup falling
+// more than 25% below the committed ratio, or the online tier's goodput
+// falling (TTFT p50 rising) more than 25% against the committed values.
+// Replan gates compare only ratios and online gates only virtual-clock
+// simulation results, so snapshots and checks may run on different
+// machines.
 package main
 
 import (
@@ -25,8 +32,8 @@ import (
 	"repro/internal/perf"
 )
 
-// regressionTolerance is how far the measured warm-vs-cold replan
-// speedup may fall below the committed snapshot before -check fails.
+// regressionTolerance is how far a gated quantity may degrade against
+// the committed snapshot before a check fails.
 const regressionTolerance = 0.25
 
 // snapshot is the BENCH_replan.json document.
@@ -39,13 +46,21 @@ type snapshot struct {
 	Serve    *perf.ServeResult    `json:"serve_throughput"`
 }
 
+// onlineSnapshot is the BENCH_online.json document.
+type onlineSnapshot struct {
+	Config string             `json:"config"`
+	Online *perf.OnlineResult `json:"online_serving"`
+}
+
 func main() {
-	out := flag.String("out", "", "write a fresh snapshot of all three benchmarks to this file")
-	check := flag.String("check", "", "verify a committed snapshot: fail on staleness or replan-latency regression")
+	out := flag.String("out", "", "write a fresh replan/parallel/serve snapshot to this file")
+	check := flag.String("check", "", "verify a committed replan snapshot: fail on staleness or replan-latency regression")
+	outOnline := flag.String("out-online", "", "write a fresh online-serving snapshot to this file")
+	checkOnline := flag.String("check-online", "", "verify a committed online snapshot: fail on staleness or goodput/TTFT regression")
 	jobs := flag.Int("jobs", 20, "jobs per serve-throughput arm (with -out)")
 	flag.Parse()
-	if (*out == "") == (*check == "") {
-		fatal(fmt.Errorf("exactly one of -out or -check is required"))
+	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" {
+		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online is required"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -55,14 +70,25 @@ func main() {
 		if err := write(ctx, *out, *jobs); err != nil {
 			fatal(err)
 		}
-		return
 	}
-	if err := verify(ctx, *check); err != nil {
-		fatal(err)
+	if *outOnline != "" {
+		if err := writeOnline(ctx, *outOnline); err != nil {
+			fatal(err)
+		}
+	}
+	if *check != "" {
+		if err := verify(ctx, *check); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkOnline != "" {
+		if err := verifyOnline(ctx, *checkOnline); err != nil {
+			fatal(err)
+		}
 	}
 }
 
-// write runs all three benchmarks and writes the snapshot.
+// write runs the three offline benchmarks and writes the snapshot.
 func write(ctx context.Context, path string, jobs int) error {
 	snap := snapshot{Config: perf.ConfigFingerprint()}
 	var err error
@@ -78,11 +104,7 @@ func write(ctx context.Context, path string, jobs int) error {
 	if snap.Serve, err = perf.ServeThroughput(ctx, jobs); err != nil {
 		return err
 	}
-	raw, err := json.MarshalIndent(&snap, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+	if err := writeJSON(path, &snap); err != nil {
 		return err
 	}
 	fmt.Printf("replan:   %.1f× warm speedup (cold %.3fs, warm %.3fs, %d pruned, %d memo hits)\n",
@@ -90,6 +112,25 @@ func write(ctx context.Context, path string, jobs int) error {
 		snap.Replan.PrunedWarm, snap.Replan.MemoHits)
 	fmt.Printf("parallel: %.1f× on %d CPUs\n", snap.Parallel.Speedup, snap.Parallel.Workers)
 	fmt.Printf("serve:    %.1f cold / %.1f warm jobs/sec\n", snap.Serve.ColdJobsPerSec, snap.Serve.WarmJobsPerSec)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeOnline runs the seeded online-serving scenario and writes the
+// snapshot.
+func writeOnline(ctx context.Context, path string) error {
+	fmt.Fprintln(os.Stderr, "benchjson: running seeded online-serving scenario (disaggregated pools)...")
+	res, err := perf.OnlineServing(ctx)
+	if err != nil {
+		return err
+	}
+	snap := onlineSnapshot{Config: perf.OnlineConfigFingerprint(), Online: res}
+	if err := writeJSON(path, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("online:   %d/%d completed, %.0f%% SLO attainment, ttft p50 %.3fs / p95 %.3fs, tbt p50 %.4fs, goodput %.1f tok/s, %d handoffs\n",
+		res.Completed, res.Requests, res.DeadlineHitRate*100,
+		res.TTFTP50, res.TTFTP95, res.TBTP50, res.GoodputTPS, res.Handoffs)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
@@ -125,6 +166,53 @@ func verify(ctx context.Context, path string) error {
 	fmt.Printf("replan speedup %.2f× (committed %.2f×, floor %.2f×): ok\n",
 		cur.Speedup, snap.Replan.Speedup, floor)
 	return nil
+}
+
+// verifyOnline re-runs the online scenario and gates goodput and TTFT
+// p50 against the committed snapshot. The scenario is a deterministic
+// virtual-clock simulation, so any drift past tolerance is a genuine
+// behavior change in the planner, the batching engine, or the cost
+// model — not machine noise.
+func verifyOnline(ctx context.Context, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap onlineSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want := perf.OnlineConfigFingerprint(); snap.Config != want {
+		return fmt.Errorf("%s is stale: snapshot config %s, code measures %s — regenerate with `make bench-json-out`",
+			path, snap.Config, want)
+	}
+	if snap.Online == nil || snap.Online.GoodputTPS <= 0 || snap.Online.TTFTP50 <= 0 {
+		return fmt.Errorf("%s: no committed online goodput/TTFT to gate against", path)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: re-running seeded online-serving scenario...")
+	cur, err := perf.OnlineServing(ctx)
+	if err != nil {
+		return err
+	}
+	if floor := snap.Online.GoodputTPS * (1 - regressionTolerance); cur.GoodputTPS < floor {
+		return fmt.Errorf("online goodput regressed: %.1f tok/s is more than %.0f%% below the committed %.1f (floor %.1f)",
+			cur.GoodputTPS, regressionTolerance*100, snap.Online.GoodputTPS, floor)
+	}
+	if ceil := snap.Online.TTFTP50 * (1 + regressionTolerance); cur.TTFTP50 > ceil {
+		return fmt.Errorf("online TTFT regressed: p50 %.3fs is more than %.0f%% above the committed %.3fs (ceiling %.3fs)",
+			cur.TTFTP50, regressionTolerance*100, snap.Online.TTFTP50, ceil)
+	}
+	fmt.Printf("online goodput %.1f tok/s (committed %.1f), ttft p50 %.3fs (committed %.3fs): ok\n",
+		cur.GoodputTPS, snap.Online.GoodputTPS, cur.TTFTP50, snap.Online.TTFTP50)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -9,23 +9,44 @@
 //	servectl preempt -pool pool5 -class T4-16G -count 2
 //	servectl restore -pool pool5 -class T4-16G -count 2
 //	servectl drain
+//	servectl request submit -prompt 512 -tokens 64 -deadline 30
+//	servectl request status r1
+//	servectl request stream r1
+//	servectl request cancel r1
+//	servectl request list
 //
-// The daemon address comes from -addr (default 127.0.0.1:8080).
+// The daemon address comes from -addr (default 127.0.0.1:8080). The
+// global -json flag switches every command to raw JSON output. Exit
+// codes are consistent: 0 on success, 1 on API or transport errors, 2
+// on usage errors.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/online"
 	"repro/internal/serve"
 )
 
+// usageError marks command-line misuse (exit 2, with usage help);
+// everything else exits 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// jsonOut is the global -json switch: every command renders its
+// payload as indented JSON instead of the human table/summary.
+var jsonOut bool
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "served daemon address")
+	flag.BoolVar(&jsonOut, "json", false, "print raw JSON instead of human-readable output")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -58,21 +79,31 @@ func main() {
 	case "drain":
 		var m serve.Metrics
 		if m, err = c.Drain(); err == nil {
-			fmt.Printf("draining (queue depth %d, running %d)\n", m.QueueDepth, m.Running)
+			err = emit(m, func() {
+				fmt.Printf("draining (queue depth %d, running %d)\n", m.QueueDepth, m.Running)
+			})
 		}
+	case "request":
+		err = runRequest(c, args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "servectl: unknown command %q\n", args[0])
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
+		var ue usageError
+		if errors.As(err, &ue) {
+			fmt.Fprintln(os.Stderr, "servectl:", err)
+			usage()
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "servectl:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: servectl [-addr host:port] <command>
+	fmt.Fprintln(os.Stderr, `usage: servectl [-addr host:port] [-json] <command>
 
 commands:
   submit  -model M -batch B -requests N [-workload W] [-priority P]
@@ -85,14 +116,31 @@ commands:
   fleet
   preempt -pool P -class C -count N   (reclaim devices, as the online tier would)
   restore -pool P -class C -count N   (return reclaimed devices)
-  drain`)
+  drain
+  request submit -prompt L -tokens N [-deadline S] [-priority P] [-id ID] [-stream]
+  request status <request-id>
+  request cancel <request-id>
+  request stream <request-id>
+  request list
+
+exit codes: 0 success, 1 API/transport error, 2 usage error`)
 }
 
 func needID(args []string, fn func(string) error) error {
 	if len(args) != 2 {
-		return fmt.Errorf("%s requires exactly one job id", args[0])
+		return usageError{fmt.Sprintf("%s requires exactly one id", args[0])}
 	}
 	return fn(args[1])
+}
+
+// emit is the single formatting path: -json renders the payload as
+// indented JSON; otherwise the human renderer runs.
+func emit(v any, human func()) error {
+	if jsonOut {
+		return printJSON(v)
+	}
+	human()
+	return nil
 }
 
 func runSubmit(c *serve.Client, args []string) error {
@@ -113,7 +161,7 @@ func runSubmit(c *serve.Client, args []string) error {
 	)
 	fs.Parse(args)
 	if *requests <= 0 {
-		return fmt.Errorf("submit: -requests is required and must be positive")
+		return usageError{"submit: -requests is required and must be positive"}
 	}
 	v, err := c.Submit(serve.JobSpec{
 		Model: *model, Workload: *wk, Batch: *batch, Prompt: *prompt, Output: *out,
@@ -138,13 +186,14 @@ func runList(c *serve.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %-10s %-14s %-12s %10s %7s %12s %s\n",
-		"id", "state", "model", "pool", "batches", "replans", "tkn/s", "plan")
-	for _, j := range jobs {
-		fmt.Printf("%-12s %-10s %-14s %-12s %6d/%-3d %7d %12.1f %s\n",
-			j.ID, j.State, j.Spec.Model, j.Resource, j.BatchesDone, j.BatchesTotal, j.Replans, j.Throughput, j.Plan)
-	}
-	return nil
+	return emit(map[string][]serve.JobView{"jobs": jobs}, func() {
+		fmt.Printf("%-12s %-10s %-14s %-12s %10s %7s %12s %s\n",
+			"id", "state", "model", "pool", "batches", "replans", "tkn/s", "plan")
+		for _, j := range jobs {
+			fmt.Printf("%-12s %-10s %-14s %-12s %6d/%-3d %7d %12.1f %s\n",
+				j.ID, j.State, j.Spec.Model, j.Resource, j.BatchesDone, j.BatchesTotal, j.Replans, j.Throughput, j.Plan)
+		}
+	})
 }
 
 func runFleet(c *serve.Client) error {
@@ -152,11 +201,12 @@ func runFleet(c *serve.Client) error {
 	if err != nil {
 		return err
 	}
-	printPoolHeader()
-	for _, p := range pools {
-		printPool(p)
-	}
-	return nil
+	return emit(map[string][]serve.PoolView{"pools": pools}, func() {
+		printPoolHeader()
+		for _, p := range pools {
+			printPool(p)
+		}
+	})
 }
 
 func runFleetMutation(c *serve.Client, name string, args []string, call func(pool, class string, count int) (serve.PoolView, error)) error {
@@ -166,15 +216,128 @@ func runFleetMutation(c *serve.Client, name string, args []string, call func(poo
 	count := fs.Int("count", 1, "device count")
 	fs.Parse(args)
 	if *pool == "" || *class == "" {
-		return fmt.Errorf("%s: -pool and -class are required", name)
+		return usageError{fmt.Sprintf("%s: -pool and -class are required", name)}
 	}
 	p, err := call(*pool, *class, *count)
 	if err != nil {
 		return err
 	}
-	printPoolHeader()
-	printPool(p)
-	return nil
+	return emit(p, func() {
+		printPoolHeader()
+		printPool(p)
+	})
+}
+
+// runRequest dispatches the streaming-tier subcommands.
+func runRequest(c *serve.Client, args []string) error {
+	if len(args) == 0 {
+		return usageError{"request: missing subcommand (submit | status | cancel | stream | list)"}
+	}
+	switch args[0] {
+	case "submit":
+		return runRequestSubmit(c, args[1:])
+	case "status":
+		return needID(args, func(id string) error {
+			v, err := c.Request(id)
+			if err != nil {
+				return err
+			}
+			return emit(v, func() { printRequest(v) })
+		})
+	case "cancel":
+		return needID(args, func(id string) error {
+			v, err := c.CancelRequest(id)
+			if err != nil {
+				return err
+			}
+			return emit(v, func() { printRequest(v) })
+		})
+	case "stream":
+		return needID(args, func(id string) error { return streamRequest(c, id) })
+	case "list":
+		rs, err := c.Requests()
+		if err != nil {
+			return err
+		}
+		return emit(map[string][]online.RequestView{"requests": rs}, func() {
+			fmt.Printf("%-8s %-11s %7s %7s %7s %10s %10s %-9s %s\n",
+				"id", "state", "prompt", "tokens", "max", "ttft", "tbt", "handoff", "error")
+			for _, v := range rs {
+				handoff := v.HandoffMode
+				if handoff == "" {
+					handoff = "-"
+				}
+				fmt.Printf("%-8s %-11s %7d %7d %7d %10.3f %10.4f %-9s %s\n",
+					v.ID, v.State, v.PromptLen, v.Tokens, v.MaxTokens, v.TTFT, v.TBT, handoff, v.Error)
+			}
+		})
+	default:
+		return usageError{fmt.Sprintf("request: unknown subcommand %q", args[0])}
+	}
+}
+
+func runRequestSubmit(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("request submit", flag.ExitOnError)
+	var (
+		prompt   = fs.Int("prompt", 512, "prompt length in tokens")
+		tokens   = fs.Int("tokens", 64, "generation budget (max tokens)")
+		deadline = fs.Float64("deadline", 0, "relative SLO in seconds (0 = none)")
+		priority = fs.Int("priority", 0, "admission priority (higher first)")
+		id       = fs.String("id", "", "request id (empty = server-assigned)")
+		stream   = fs.Bool("stream", false, "follow the token stream after submitting")
+	)
+	fs.Parse(args)
+	if *prompt <= 0 || *tokens <= 0 {
+		return usageError{"request submit: -prompt and -tokens must be positive"}
+	}
+	v, err := c.SubmitRequest(online.RequestSpec{
+		ID: *id, PromptLen: *prompt, MaxTokens: *tokens,
+		DeadlineSeconds: *deadline, Priority: *priority,
+	})
+	if err != nil {
+		return err
+	}
+	if *stream {
+		return streamRequest(c, v.ID)
+	}
+	return emit(v, func() { printRequest(v) })
+}
+
+func streamRequest(c *serve.Client, id string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	return c.StreamRequest(ctx, id, func(ev serve.TokenEvent) error {
+		if jsonOut {
+			return printJSON(ev)
+		}
+		if ev.State != "" {
+			fmt.Printf("%s: %s at t=%.3fs", ev.ID, ev.State, ev.Time)
+			if ev.Error != "" {
+				fmt.Printf(" (%s)", ev.Error)
+			}
+			fmt.Println()
+			return nil
+		}
+		fmt.Printf("%s: token %d at t=%.3fs\n", ev.ID, ev.Seq, ev.Time)
+		return nil
+	})
+}
+
+func printRequest(v online.RequestView) {
+	fmt.Printf("%s: %s — prompt %d, %d/%d tokens", v.ID, v.State, v.PromptLen, v.Tokens, v.MaxTokens)
+	if v.TTFT > 0 {
+		fmt.Printf(", ttft %.3fs", v.TTFT)
+	}
+	if v.TBT > 0 {
+		fmt.Printf(", tbt %.4fs", v.TBT)
+	}
+	if v.HandoffMode != "" {
+		fmt.Printf(", handoff %s", v.HandoffMode)
+	}
+	if v.Error != "" {
+		fmt.Printf(" (%s)", v.Error)
+	}
+	fmt.Println()
 }
 
 func printPoolHeader() {

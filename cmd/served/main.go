@@ -7,7 +7,11 @@
 //	       -pools "t4v100:5:0.6,v100x4:9:0.9"
 //
 // Pools are name:preset:availability triples over the paper's Table III
-// cluster presets. With -faults the daemon replays a seeded preemption
+// cluster presets. With -online the daemon also serves a streaming
+// request tier on /v1/requests: continuous iteration-level batching on a
+// dedicated cluster preset, planned as disaggregated prefill/decode
+// pools when the preset splits feasibly (colocated stop-and-go
+// otherwise). With -faults the daemon replays a seeded preemption
 // schedule against its own fleet — the online tier reclaiming and
 // returning devices — and running jobs re-plan onto the degraded pools
 // at their next batch boundary. SIGINT/SIGTERM drains gracefully:
@@ -21,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +40,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/gpu"
+	"repro/internal/model"
+	"repro/internal/online"
+	"repro/internal/quant"
 	"repro/internal/scheduler"
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -54,12 +63,24 @@ func main() {
 		faults       = flag.Bool("faults", false, "inject seeded preemption faults (online tier reclaiming devices)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "preemption schedule seed")
 		faultHorizon = flag.Duration("fault-horizon", 2*time.Minute, "preemption schedule window (repeats until shutdown)")
+
+		onlineMode  = flag.Bool("online", false, "enable the streaming request tier (continuous batching over /v1/requests)")
+		onlineModel = flag.String("online-model", "opt-13b", "model served by the online tier")
+		onlinePre   = flag.Int("online-preset", 2, "cluster preset (Table III) the online tier plans on")
+		onlineBatch = flag.Int("online-batch", 32, "online decode batch cap")
+		onlineGbps  = flag.Float64("online-handoff-gbps", 800, "prefill→decode fabric bandwidth in Gbps (0 = replay-only handoff)")
 	)
 	flag.Parse()
 
 	resources, err := parsePools(*pools)
 	if err != nil {
 		fatal(err)
+	}
+	var eng *online.Engine
+	if *onlineMode {
+		if eng, err = buildOnline(*onlineModel, *onlinePre, *onlineBatch, *onlineGbps); err != nil {
+			fatal(err)
+		}
 	}
 	srv, err := serve.New(serve.Config{
 		Resources:     resources,
@@ -68,6 +89,7 @@ func main() {
 		CacheCapacity: *cacheN,
 		QueueCapacity: *queueN,
 		Planner:       core.Options{Method: core.Method(*method), Theta: *theta},
+		Online:        eng,
 	})
 	if err != nil {
 		fatal(err)
@@ -87,6 +109,15 @@ func main() {
 
 	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if eng != nil {
+		mode := "colocated"
+		if eng.Disaggregated() {
+			mode = "disaggregated prefill/decode"
+		}
+		fmt.Printf("served: online tier on — %s on preset %d (%s, batch %d)\n",
+			*onlineModel, *onlinePre, mode, *onlineBatch)
+		go eng.Loop(runCtx)
+	}
 	if *faults {
 		fmt.Printf("served: fault injection on (seed %d, window %s)\n", *faultSeed, *faultHorizon)
 		go runFaults(runCtx, srv, *faultSeed, *faultHorizon)
@@ -107,6 +138,60 @@ func main() {
 	if m.Preemptions > 0 || m.Replans > 0 {
 		fmt.Printf("served: survived %d preemptions with %d re-plans\n", m.Preemptions, m.Replans)
 	}
+	if eng != nil {
+		om := eng.Metrics()
+		fmt.Printf("served: online tier — %d completed, %d expired, %d canceled, %d handoffs, goodput %.1f tok/s\n",
+			om.Completed, om.Expired, om.Canceled, om.Handoffs, om.GoodputTPS)
+	}
+}
+
+// buildOnline plans the streaming tier: a disaggregated prefill/decode
+// partition of the chosen preset when one is feasible, otherwise a
+// single colocated plan (stop-and-go batching). The online tier plans
+// its own dedicated cluster rather than borrowing an offline pool — in
+// the paper's setting the interactive and batch fleets are disjoint.
+func buildOnline(modelName string, preset, maxBatch int, gbps float64) (*online.Engine, error) {
+	spec, err := model.Lookup(modelName)
+	if err != nil {
+		return nil, err
+	}
+	clu, err := cluster.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	bits := []int{3, 4, 8, 16}
+	ind := core.ProfileIndicator(spec, bits, quant.Deterministic)
+	opts := core.Options{Bits: bits, TimeLimit: 15 * time.Second}
+	batch := workload.Batch{Size: maxBatch, ChunkLen: 256, Chunks: 2, GenTokens: 64}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	cfg := online.Config{
+		Spec:      spec,
+		MaxBatch:  maxBatch,
+		ChunkLen:  256,
+		HandoffBW: cluster.BandwidthFromGbps(gbps),
+	}
+	dp, err := core.PlanDisaggregated(ctx, spec, clu, ind, opts, batch, core.DisaggOptions{})
+	if err == nil {
+		cfg.PrefillPlan, cfg.PrefillCluster = dp.Prefill, dp.PrefillCluster
+		cfg.DecodePlan, cfg.DecodeCluster = dp.Decode, dp.DecodeCluster
+		return online.New(cfg)
+	}
+	if !errors.Is(err, core.ErrInfeasible) {
+		return nil, err
+	}
+	// No feasible phase split (e.g. a single-device preset): colocate.
+	a, err := core.New(spec, clu, ind, opts)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := a.Plan(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	cfg.PrefillPlan, cfg.PrefillCluster = p, clu
+	return online.New(cfg)
 }
 
 // runFaults replays a seeded preemption schedule against the live fleet

@@ -1,0 +1,57 @@
+package splitquant
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlanDisaggregated exercises the public phase-split path on the
+// paper's heterogeneous cluster 2 (2×V100 + 1×A100): the A100 prefills
+// at high precision, the V100s decode at low bits with quantized KV,
+// and both phase deployments Measure on their own pools.
+func TestPlanDisaggregated(t *testing.T) {
+	sys, err := New("opt-13b", Preset(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := sys.PlanDisaggregated(FixedWorkload(16, 256, 64), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range dd.Prefill.Stages() {
+		if !strings.HasPrefix(st.GPU, "A100") {
+			t.Fatalf("prefill stage on %s, want A100", st.GPU)
+		}
+		for _, b := range st.Bits {
+			if b < 8 {
+				t.Fatalf("prefill pool at %d bits", b)
+			}
+		}
+	}
+	for _, st := range dd.Decode.Stages() {
+		if !strings.HasPrefix(st.GPU, "V100") {
+			t.Fatalf("decode stage on %s, want V100", st.GPU)
+		}
+		for _, b := range st.Bits {
+			if b > 8 {
+				t.Fatalf("decode pool at %d bits", b)
+			}
+		}
+	}
+
+	pre, err := dd.Prefill.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := dd.Decode.Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.TotalSeconds <= 0 || dec.TotalSeconds <= 0 {
+		t.Fatalf("degenerate phase latencies: prefill %v, decode %v", pre.TotalSeconds, dec.TotalSeconds)
+	}
+	// The prefill deployment only ever generates the first token.
+	if pre.OutputTokens != 16 {
+		t.Fatalf("prefill pool generated %d tokens, want 16 (one per request)", pre.OutputTokens)
+	}
+}

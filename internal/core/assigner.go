@@ -64,8 +64,15 @@ type Options struct {
 	// PrefillOnlyObjective drops the decode terms from the planning
 	// objective (memory accounting stays intact) — the phase-blind
 	// ablation D1 of DESIGN.md, modeling prior encoder-oriented
-	// partitioners.
+	// partitioners. It is also how a disaggregated prefill pool is
+	// planned: its stages never decode.
 	PrefillOnlyObjective bool
+	// DecodeOnlyObjective is the mirror image: the prefill terms are
+	// dropped from the objective, leaving pure per-token decode latency.
+	// A disaggregated decode pool is planned with this set — it receives
+	// sessions whose prefill already ran elsewhere (KV arrives by
+	// handoff), so prompt-processing speed is irrelevant to it.
+	DecodeOnlyObjective bool
 	// Costs, when non-nil, memoizes per-(device, bitwidth, phase, shape)
 	// latency evaluations across configurations and across searches (see
 	// CostCache). Sharing one cache between re-plans of a churning fleet
@@ -269,6 +276,15 @@ func (a *Assigner) buildConfigCosts(cfg planConfig, batch workload.Batch) *order
 			oc.commDec[j] = 0
 		}
 		oc.aDec = 0
+	}
+	if a.opts.DecodeOnlyObjective {
+		for j := range oc.pre {
+			for bi := range oc.pre[j] {
+				oc.pre[j][bi] = 0
+			}
+			oc.commPre[j] = 0
+		}
+		oc.aPre = 0
 	}
 	return oc
 }

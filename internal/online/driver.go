@@ -1,0 +1,70 @@
+package online
+
+import (
+	"context"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Arrivals draws n request specs as a seeded Poisson process: Exp(rate)
+// interarrival gaps, prompt and output lengths sampled from the
+// workload profile. The same seed always yields the same trace, so a
+// closed-loop run over these specs is fully deterministic — the
+// foundation of the online benchmarks and e2e tests.
+func Arrivals(rng *stats.RNG, p *workload.Profile, rate float64, n int, slo float64) []RequestSpec {
+	specs := make([]RequestSpec, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += rng.Exp(rate)
+		req := p.Requests[rng.Intn(len(p.Requests))]
+		maxTok := req.OutputLen
+		if maxTok < 1 {
+			maxTok = 1
+		}
+		specs = append(specs, RequestSpec{
+			PromptLen:       req.PromptLen,
+			MaxTokens:       maxTok,
+			DeadlineSeconds: slo,
+			ArrivalSeconds:  t,
+		})
+	}
+	return specs
+}
+
+// SubmitAll feeds a pre-drawn trace into the engine, returning the ids
+// in submission order. Rejected submissions get an empty id slot.
+func (e *Engine) SubmitAll(specs []RequestSpec) []string {
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		id, err := e.Submit(s)
+		if err != nil {
+			continue
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// Loop drives the engine until ctx is cancelled: it steps while events
+// are due and blocks on the engine's watch channel while idle. This is
+// the serve daemon's live mode — submissions wake the loop, which runs
+// the virtual clock forward as fast as the simulation allows.
+func (e *Engine) Loop(ctx context.Context) {
+	for {
+		ch := e.Watch()
+		if e.Step() {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package online
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/tinyllm"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TestOnlineE2EDisaggregated is the acceptance path for the online
+// tier, in two halves that mirror its control and data planes.
+//
+// Control plane: seeded Poisson arrivals with per-request SLOs run
+// against disaggregated pools planned on the paper's heterogeneous
+// cluster 2; continuous batching admits at token-step boundaries, every
+// multi-token request migrates by a costed KV handoff, and the final
+// metrics report TTFT/TBT/queue-wait percentiles and deadline
+// attainment — identically on every run of the same seed.
+//
+// Data plane: the same handoff executed for real over
+// internal/transport — a prefill chain exports its token log, a decode
+// chain with a different stage split resumes it — must splice
+// bit-identically into the non-disaggregated reference generation.
+func TestOnlineE2EDisaggregated(t *testing.T) {
+	cfg := disaggConfig(t, cluster.Eth800BW)
+
+	run := func() (Metrics, []RequestView) {
+		e := mustEngine(t, cfg)
+		profile := workload.ShareGPT(stats.NewRNG(5), 64).Filter(cfg.Spec.MaxPos)
+		specs := Arrivals(stats.NewRNG(2024), profile, 3.0, 20, 3600)
+		e.SubmitAll(specs)
+		m := e.RunToCompletion()
+		return m, e.List()
+	}
+	m1, views := run()
+	if m1.Completed == 0 || m1.Completed+m1.Expired+m1.Rejected != 20 {
+		t.Fatalf("request accounting broken: %+v", m1)
+	}
+	if m1.Handoffs < 1 {
+		t.Fatal("no KV handoff happened in disaggregated mode")
+	}
+	if m1.TTFT.Count == 0 || m1.TTFT.P50 <= 0 || m1.TTFT.P99 < m1.TTFT.P50 {
+		t.Fatalf("TTFT summary degenerate: %+v", m1.TTFT)
+	}
+	if m1.TBT.Count == 0 || m1.TBT.P50 <= 0 {
+		t.Fatalf("TBT summary degenerate: %+v", m1.TBT)
+	}
+	if m1.QueueWait.Count == 0 {
+		t.Fatalf("queue-wait summary empty: %+v", m1.QueueWait)
+	}
+	if m1.DeadlineHits != m1.Completed {
+		t.Fatalf("with a 1-hour SLO every completion should hit its deadline: %+v", m1)
+	}
+	if m1.GoodputTPS <= 0 {
+		t.Fatalf("goodput = %v", m1.GoodputTPS)
+	}
+	for _, v := range views {
+		if v.State == StateCompleted && v.MaxTokens > 1 && v.HandoffMode == "" {
+			t.Fatalf("completed request %s never migrated pools", v.ID)
+		}
+	}
+	m2, _ := run()
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", m1, m2)
+	}
+
+	// ---- Data plane: the handoff itself, bit for bit. ----
+	tcfg := tinyllm.Config{Name: "online-e2e", Layers: 6, Hidden: 32, Heads: 4, FFN: 96, Vocab: 96, MaxPos: 64}
+	const tseed = 2024
+	bits := []int{4, 4, 8, 8, 16, 16} // one per-layer assignment, two different stage splits
+	start := func(cuts [][2]int) ([]string, func()) {
+		var addrs []string
+		var close []func()
+		for _, c := range cuts {
+			s, err := transport.NewStageServer(tcfg, tseed, bits, c[0], c[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr, err := s.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs = append(addrs, addr)
+			close = append(close, func() { s.Close() })
+		}
+		return addrs, func() {
+			for _, fn := range close {
+				fn()
+			}
+		}
+	}
+	preAddrs, preCleanup := start([][2]int{{0, 3}, {3, 6}})
+	defer preCleanup()
+	decAddrs, decCleanup := start([][2]int{{0, 2}, {2, 4}, {4, 6}})
+	defer decCleanup()
+	pre, err := transport.NewDriver(tcfg, tseed, preAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+	dec, err := transport.NewDriver(tcfg, tseed, decAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+
+	prompt := transport.RandomPrompt(stats.NewRNG(99), tcfg.Vocab, 12)
+	const n = 12
+	first, log, err := pre.GenerateLog(prompt, 1) // pure prefill: first token + token log
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := dec.Resume(log, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.Reference(tcfg, tseed, bits, prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]int(nil), first...), rest...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("handoff output diverged from reference:\n got %v\nwant %v", got, want)
+	}
+}

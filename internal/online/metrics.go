@@ -1,0 +1,96 @@
+package online
+
+import "repro/internal/stats"
+
+// Summary is a percentile digest of one latency population.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summarize digests samples (zero Summary for an empty population).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: len(xs),
+		Mean:  stats.Mean(xs),
+		P50:   stats.Percentile(xs, 50),
+		P95:   stats.Percentile(xs, 95),
+		P99:   stats.Percentile(xs, 99),
+	}
+}
+
+// Metrics is the online tier's aggregate view: request counters by
+// outcome, SLO attainment, and the per-request latency populations —
+// queue wait (arrival → prefill start), TTFT (arrival → first token),
+// and TBT (mean gap between a completed request's tokens).
+type Metrics struct {
+	Clock     float64 `json:"clock_seconds"`
+	Submitted int64   `json:"submitted"`
+	Completed int64   `json:"completed"`
+	Expired   int64   `json:"expired"`
+	Canceled  int64   `json:"canceled"`
+	Rejected  int64   `json:"rejected"`
+	// Queued counts arrived-but-not-yet-prefilling requests; Running
+	// counts requests in prefill, handoff, or the decode batch.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+
+	DeadlineHits   int64 `json:"deadline_hits"`
+	DeadlineMisses int64 `json:"deadline_misses"`
+
+	// CompletedTokens and GoodputTPS count only tokens of requests that
+	// finished successfully (goodput, not raw throughput).
+	CompletedTokens int64   `json:"completed_tokens"`
+	GoodputTPS      float64 `json:"goodput_tps"`
+
+	// Handoffs decompose pool migrations by mechanism (disagg only).
+	Handoffs         int64 `json:"handoffs"`
+	HandoffTransfers int64 `json:"handoff_transfers"`
+	HandoffReplays   int64 `json:"handoff_replays"`
+
+	QueueWait Summary `json:"queue_wait"`
+	TTFT      Summary `json:"ttft"`
+	TBT       Summary `json:"tbt"`
+
+	// KVBudgetBytes/KVInUseBytes expose the decode pool's admission
+	// currency (per-layer bytes of the tightest stage).
+	KVBudgetBytes int64 `json:"kv_budget_bytes"`
+	KVInUseBytes  int64 `json:"kv_in_use_bytes"`
+}
+
+// Metrics snapshots the aggregate state.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := Metrics{
+		Clock:            e.clock,
+		Submitted:        e.submitted,
+		Completed:        e.completed,
+		Expired:          e.expired,
+		Canceled:         e.canceled,
+		Rejected:         e.rejected,
+		Queued:           len(e.pending) + len(e.waiting),
+		Running:          len(e.prefilling) + len(e.inHandoff) + len(e.batch),
+		DeadlineHits:     e.deadlineHits,
+		DeadlineMisses:   e.deadlineMisses,
+		CompletedTokens:  e.completedTokens,
+		Handoffs:         e.handoffs,
+		HandoffTransfers: e.handoffTransfers,
+		HandoffReplays:   e.handoffReplays,
+		QueueWait:        Summarize(e.waitS),
+		TTFT:             Summarize(e.ttftS),
+		TBT:              Summarize(e.tbtS),
+		KVBudgetBytes:    e.kvBudget,
+		KVInUseBytes:     e.kvInUse,
+	}
+	if e.clock > 0 {
+		m.GoodputTPS = float64(e.completedTokens) / e.clock
+	}
+	return m
+}

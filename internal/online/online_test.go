@@ -1,0 +1,279 @@
+package online
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/quant"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var testBatch = workload.Batch{Size: 16, ChunkLen: 256, Chunks: 1, GenTokens: 32}
+
+// colocatedConfig plans one pool (cluster 9, 4×V100) serving both
+// phases.
+func colocatedConfig(t *testing.T) Config {
+	t.Helper()
+	spec := model.OPT13B
+	clu := cluster.MustPreset(9)
+	ind := core.ProfileIndicator(spec, []int{3, 4, 8, 16}, quant.Deterministic)
+	a, err := core.New(spec, clu, ind, core.Options{Bits: []int{3, 4, 8, 16}, TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := a.Plan(context.Background(), testBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Spec: spec, PrefillPlan: p, PrefillCluster: clu, ChunkLen: 256}
+}
+
+// disaggConfig plans split pools on the heterogeneous cluster 2
+// (A100 prefills, V100s decode).
+func disaggConfig(t *testing.T, handoffBW float64) Config {
+	t.Helper()
+	spec := model.OPT13B
+	clu := cluster.MustPreset(2)
+	ind := core.ProfileIndicator(spec, []int{3, 4, 8, 16}, quant.Deterministic)
+	dp, err := core.PlanDisaggregated(context.Background(), spec, clu, ind,
+		core.Options{Bits: []int{3, 4, 8, 16}, TimeLimit: 10 * time.Second}, testBatch, core.DisaggOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Spec:           spec,
+		PrefillPlan:    dp.Prefill,
+		PrefillCluster: dp.PrefillCluster,
+		DecodePlan:     dp.Decode,
+		DecodeCluster:  dp.DecodeCluster,
+		ChunkLen:       256,
+		HandoffBW:      handoffBW,
+	}
+}
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestColocatedClosedLoopDeterministic(t *testing.T) {
+	cfg := colocatedConfig(t)
+	run := func() Metrics {
+		e := mustEngine(t, cfg)
+		specs := Arrivals(stats.NewRNG(42), workload.Fixed(64, 256, 24), 2.0, 24, 0)
+		e.SubmitAll(specs)
+		return e.RunToCompletion()
+	}
+	m1, m2 := run(), run()
+	if m1.Completed != 24 {
+		t.Fatalf("completed %d of 24 (expired %d, canceled %d, rejected %d)",
+			m1.Completed, m1.Expired, m1.Canceled, m1.Rejected)
+	}
+	if m1.CompletedTokens != 24*24 {
+		t.Fatalf("completed tokens = %d, want %d", m1.CompletedTokens, 24*24)
+	}
+	if m1.TTFT.P50 <= 0 || m1.TBT.P50 <= 0 || m1.GoodputTPS <= 0 {
+		t.Fatalf("degenerate latency metrics: %+v", m1)
+	}
+	if m1.Handoffs != 0 {
+		t.Fatalf("colocated run recorded %d handoffs", m1.Handoffs)
+	}
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestDisaggregatedHandoffAccounting(t *testing.T) {
+	e := mustEngine(t, disaggConfig(t, cluster.Eth800BW))
+	specs := Arrivals(stats.NewRNG(7), workload.Fixed(64, 256, 16), 4.0, 16, 0)
+	e.SubmitAll(specs)
+	m := e.RunToCompletion()
+	if m.Completed != 16 {
+		t.Fatalf("completed %d of 16: %+v", m.Completed, m)
+	}
+	// Every multi-token request migrated pools exactly once.
+	if m.Handoffs != 16 {
+		t.Fatalf("handoffs = %d, want 16", m.Handoffs)
+	}
+	if m.HandoffTransfers+m.HandoffReplays != m.Handoffs {
+		t.Fatalf("handoff modes %d+%d don't sum to %d",
+			m.HandoffTransfers, m.HandoffReplays, m.Handoffs)
+	}
+	for _, v := range e.List() {
+		if v.HandoffMode == "" {
+			t.Fatalf("request %s finished without a handoff mode", v.ID)
+		}
+	}
+}
+
+// TestContinuousAdmission is the iteration-level batching property: a
+// late request starts decoding while an earlier one is still in the
+// batch — its first token lands before the earlier request finishes.
+func TestContinuousAdmission(t *testing.T) {
+	e := mustEngine(t, disaggConfig(t, cluster.Eth800BW))
+	a, err := e.Submit(RequestSpec{ID: "a", PromptLen: 256, MaxTokens: 64, ArrivalSeconds: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Submit(RequestSpec{ID: "b", PromptLen: 256, MaxTokens: 8, ArrivalSeconds: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunToCompletion()
+	va, _ := e.Status(a)
+	vb, _ := e.Status(b)
+	if va.State != StateCompleted || vb.State != StateCompleted {
+		t.Fatalf("states: a=%s b=%s", va.State, vb.State)
+	}
+	if vb.TokenTimes[0] >= va.Finish {
+		t.Fatalf("no continuous admission: b's first token at %v, a finished at %v",
+			vb.TokenTimes[0], va.Finish)
+	}
+}
+
+func TestDeadlinesAndCancellation(t *testing.T) {
+	e := mustEngine(t, colocatedConfig(t))
+	// Impossible SLO: expires (queued or mid-flight) and counts a miss.
+	tight, err := e.Submit(RequestSpec{PromptLen: 256, MaxTokens: 64, DeadlineSeconds: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comfortable SLO: completes and counts a hit.
+	loose, err := e.Submit(RequestSpec{PromptLen: 256, MaxTokens: 8, DeadlineSeconds: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancelled before it runs.
+	gone, err := e.Submit(RequestSpec{PromptLen: 256, MaxTokens: 8, ArrivalSeconds: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(gone); err != nil {
+		t.Fatal(err)
+	}
+	m := e.RunToCompletion()
+	vt, _ := e.Status(tight)
+	if vt.State != StateExpired {
+		t.Fatalf("tight-SLO request state = %s, want expired", vt.State)
+	}
+	vl, _ := e.Status(loose)
+	if vl.State != StateCompleted {
+		t.Fatalf("loose-SLO request state = %s, want completed", vl.State)
+	}
+	vg, _ := e.Status(gone)
+	if vg.State != StateCanceled {
+		t.Fatalf("cancelled request state = %s, want canceled", vg.State)
+	}
+	if m.DeadlineMisses < 1 || m.DeadlineHits < 1 {
+		t.Fatalf("deadline accounting: hits=%d misses=%d", m.DeadlineHits, m.DeadlineMisses)
+	}
+	// Cancel is idempotent on finished requests.
+	if err := e.Cancel(gone); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cfg := colocatedConfig(t)
+	cfg.QueueCapacity = 2
+	e := mustEngine(t, cfg)
+	if _, err := e.Submit(RequestSpec{PromptLen: 0, MaxTokens: 4}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("zero prompt: %v", err)
+	}
+	if _, err := e.Submit(RequestSpec{PromptLen: cfg.Spec.MaxPos, MaxTokens: 4}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-long request: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit(RequestSpec{PromptLen: 256, MaxTokens: 4, ArrivalSeconds: 1e5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Submit(RequestSpec{PromptLen: 256, MaxTokens: 4, ArrivalSeconds: 1e5}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: %v", err)
+	}
+	if _, err := e.Status("nope"); !errors.Is(err, ErrUnknownRequest) {
+		t.Fatalf("unknown status: %v", err)
+	}
+	if err := e.Cancel("nope"); !errors.Is(err, ErrUnknownRequest) {
+		t.Fatalf("unknown cancel: %v", err)
+	}
+	m := e.Metrics()
+	if m.Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3", m.Rejected)
+	}
+}
+
+func TestPriorityOrdersAdmission(t *testing.T) {
+	cfg := colocatedConfig(t)
+	cfg.MaxPrefillBatch = 1
+	e := mustEngine(t, cfg)
+	lo, err := e.Submit(RequestSpec{ID: "lo", PromptLen: 256, MaxTokens: 4, Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := e.Submit(RequestSpec{ID: "hi", PromptLen: 256, MaxTokens: 4, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunToCompletion()
+	vlo, _ := e.Status(lo)
+	vhi, _ := e.Status(hi)
+	if vhi.TokenTimes[0] >= vlo.TokenTimes[0] {
+		t.Fatalf("priority inversion: hi first token %v, lo %v", vhi.TokenTimes[0], vlo.TokenTimes[0])
+	}
+}
+
+// TestLoopLiveMode exercises the daemon path under -race: a running
+// Loop, concurrent submitters, and watch-channel readers.
+func TestLoopLiveMode(t *testing.T) {
+	e := mustEngine(t, colocatedConfig(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var loopDone sync.WaitGroup
+	loopDone.Add(1)
+	go func() {
+		defer loopDone.Done()
+		e.Loop(ctx)
+	}()
+
+	const n = 8
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/2; i++ {
+				if _, err := e.Submit(RequestSpec{PromptLen: 256, MaxTokens: 4}); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.After(30 * time.Second)
+	for {
+		if m := e.Metrics(); m.Completed == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("live loop stalled: %+v", e.Metrics())
+		case <-e.Watch():
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	loopDone.Wait()
+}

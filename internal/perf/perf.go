@@ -1,14 +1,15 @@
 // Package perf holds the measurement logic behind the repo's tracked
 // benchmarks: replan latency under cluster churn, planner parallel
-// speedup, and serving throughput. The same functions back both the
+// speedup, serving throughput, and the online tier's SLO quantities
+// under a seeded closed-loop scenario. The same functions back both the
 // `go test -bench` entry points and cmd/benchjson, which snapshots the
-// numbers into the committed BENCH_replan.json, so the two can never
-// measure different things.
+// numbers into the committed BENCH_replan.json and BENCH_online.json,
+// so the two can never measure different things.
 //
 // All entry points use fixed seeds and fixed scenario shapes; the
 // tracked quantities are machine-normalized ratios (warm/cold,
-// sequential/parallel), so snapshots taken on different machines remain
-// comparable.
+// sequential/parallel) or virtual-clock simulation results, so
+// snapshots taken on different machines remain comparable.
 package perf
 
 import (

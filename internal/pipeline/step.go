@@ -1,0 +1,124 @@
+// Iteration-level primitives for the online tier: where Simulate runs a
+// whole fixed batch to completion, the continuous-batching scheduler
+// needs the cost of *one* token step at the decode batch's current
+// composition (requests join and leave at step boundaries) and the KV
+// headroom that bounds how many requests a plan's stages can hold
+// concurrently. Both reuse Simulate's stage-latency and memory models,
+// so a fixed batch stepped token by token costs exactly what Simulate
+// charges it.
+package pipeline
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/plan"
+)
+
+// DecodeStepLatency returns the wall-clock of one decode step for a
+// batch of v concurrent requests at context length ctx on the plan:
+// ⌈v/ξ⌉ micro-batches flow through the stages event-driven (each stage
+// serially busy, transfers overlapped) and the master's LM head samples
+// each micro-batch. It is Simulate's inner decode loop for a single t,
+// starting from an idle pipeline — the state a continuous batcher is in
+// at every step boundary.
+func DecodeStepLatency(p *plan.Plan, spec *model.Spec, clu *cluster.Cluster, v, ctx int) float64 {
+	if v <= 0 || len(p.Stages) == 0 {
+		return 0
+	}
+	xi := p.DecodeMicroBatch
+	if xi > v {
+		xi = v
+	}
+	if xi < 1 {
+		xi = 1
+	}
+	muDec := ceilDiv(v, xi)
+	nStages := len(p.Stages)
+	master := p.Stages[0].Device
+	stageFree := make([]float64, nStages)
+	linkTime := func(i int) float64 {
+		if i >= nStages-1 {
+			return 0
+		}
+		bw := clu.LinkBandwidth(&p.Stages[i].Device, &p.Stages[i+1].Device)
+		return float64(spec.ActivationTransferBytes(xi, 1)) / bw
+	}
+	lm := devLMHead(master, spec, xi)
+	var end float64
+	for m := 0; m < muDec; m++ {
+		arrive := 0.0
+		for j := 0; j < nStages; j++ {
+			start := arrive
+			if stageFree[j] > start {
+				start = stageFree[j]
+			}
+			work := 0.0
+			for _, bit := range p.Stages[j].Bits {
+				work += devDecode(p.Stages[j].Device, spec, xi, ctx, bit, p.BitKV)
+			}
+			finish := start + work
+			stageFree[j] = finish
+			arrive = finish + linkTime(j)
+		}
+		if t := arrive + lm; t > end {
+			end = t
+		}
+	}
+	return end
+}
+
+// KVBudget returns the per-layer KV byte budget of the plan's tightest
+// stage: the memory left on each stage after weights, the decode
+// activation buffer, and (on the master) the embedding table, divided
+// by the stage's layer count. A set of concurrent requests fits the
+// plan iff the sum of their per-layer KV footprints stays within this
+// budget — the admission currency of the continuous batcher. Returns 0
+// when some stage cannot even hold its weights.
+func KVBudget(p *plan.Plan, spec *model.Spec) int64 {
+	mm := costmodel.MemoryModel{}
+	xi := p.DecodeMicroBatch
+	if xi < 1 {
+		xi = 1
+	}
+	var budget int64 = -1
+	for i, st := range p.Stages {
+		if len(st.Bits) == 0 {
+			continue
+		}
+		free := st.Device.UsableMemory() - mm.ActivationBytes(spec, xi, 1)
+		if i == 0 {
+			free -= mm.EmbeddingBytes(spec)
+		}
+		for _, bit := range st.Bits {
+			free -= mm.LayerBytes(spec, bit)
+		}
+		perLayer := free / int64(len(st.Bits))
+		if budget < 0 || perLayer < budget {
+			budget = perLayer
+		}
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+// RequestKVBytes returns one request's per-layer KV footprint: prompt
+// positions plus the reserved generation budget at the plan's KV
+// bitwidth. Summed over a decode batch it is compared against KVBudget.
+func RequestKVBytes(p *plan.Plan, spec *model.Spec, prompt, reserve int) int64 {
+	mm := costmodel.MemoryModel{}
+	return mm.KVBytes(spec, 1, prompt, reserve, p.BitKV)
+}
+
+// DecodeCapacity returns how many identical requests (prompt positions,
+// reserve generation budget) the plan can decode concurrently before
+// its tightest stage runs out of KV memory.
+func DecodeCapacity(p *plan.Plan, spec *model.Spec, prompt, reserve int) int {
+	per := RequestKVBytes(p, spec, prompt, reserve)
+	if per <= 0 {
+		return 0
+	}
+	return int(KVBudget(p, spec) / per)
+}

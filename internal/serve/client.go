@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/online"
 )
 
 // StatusError is an HTTP-level API failure (non-2xx response).
@@ -144,6 +147,81 @@ func (c *Client) Restore(pool, class string, count int) (PoolView, error) {
 	var v PoolView
 	err := c.do(http.MethodPost, "/v1/fleet/restore", fleetRequest{Pool: pool, Class: class, Count: count}, &v)
 	return v, err
+}
+
+// SubmitRequest submits a streaming request to the online tier.
+func (c *Client) SubmitRequest(spec online.RequestSpec) (online.RequestView, error) {
+	var v online.RequestView
+	err := c.do(http.MethodPost, "/v1/requests", spec, &v)
+	return v, err
+}
+
+// Request fetches one streaming request's status.
+func (c *Client) Request(id string) (online.RequestView, error) {
+	var v online.RequestView
+	err := c.do(http.MethodGet, "/v1/requests/"+id, nil, &v)
+	return v, err
+}
+
+// Requests lists the online tier's requests in submission order.
+func (c *Client) Requests() ([]online.RequestView, error) {
+	var out struct {
+		Requests []online.RequestView `json:"requests"`
+	}
+	err := c.do(http.MethodGet, "/v1/requests", nil, &out)
+	return out.Requests, err
+}
+
+// CancelRequest cancels a streaming request.
+func (c *Client) CancelRequest(id string) (online.RequestView, error) {
+	var v online.RequestView
+	err := c.do(http.MethodDelete, "/v1/requests/"+id, nil, &v)
+	return v, err
+}
+
+// StreamRequest follows a request's NDJSON token stream, invoking fn
+// for every event until the terminal event, stream end, or ctx
+// cancellation. The final event carries the request's terminal state.
+func (c *Client) StreamRequest(ctx context.Context, id string, fn func(TokenEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/requests/"+id+"/stream", nil)
+	if err != nil {
+		return err
+	}
+	// The stream outlives the client's default request timeout by
+	// design, so use a transport-only client here.
+	hc := &http.Client{Transport: c.hc.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return &StatusError{Code: resp.StatusCode, Message: ae.Error}
+		}
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev TokenEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.State.Terminal() {
+			return nil
+		}
+	}
 }
 
 // Wait polls a job until it reaches a terminal state or ctx expires.

@@ -65,6 +65,7 @@ func (s *Server) nextJob(start int) (*job, *scheduler.Resource) {
 			picked.state = StatePlanning
 			if picked.started.IsZero() {
 				picked.started = time.Now()
+				s.waitS = append(s.waitS, picked.started.Sub(picked.submitted).Seconds())
 			}
 			return picked, pool
 		}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/gpu"
+	"repro/internal/online"
 	"repro/internal/scheduler"
 )
 
@@ -27,6 +28,14 @@ type apiError struct {
 //	POST   /v1/fleet/restore  return devices (fleetRequest body) → PoolView
 //	GET    /v1/healthz        liveness → {"status": "ok"}
 //
+// With Config.Online wired, the streaming request tier mounts too:
+//
+//	POST   /v1/requests             submit (online.RequestSpec) → RequestView
+//	GET    /v1/requests             list → {"requests": [RequestView...]}
+//	GET    /v1/requests/{id}        status → RequestView
+//	DELETE /v1/requests/{id}        cancel → RequestView
+//	GET    /v1/requests/{id}/stream NDJSON token events until terminal
+//
 // Errors are {"error": "..."} with 400 (malformed), 404 (unknown job),
 // 422 (admission rejection), 429 (queue full), or 503 (draining).
 func (s *Server) Handler() http.Handler {
@@ -35,6 +44,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/requests", s.handleRequestSubmit)
+	mux.HandleFunc("GET /v1/requests", s.handleRequestList)
+	mux.HandleFunc("GET /v1/requests/{id}", s.handleRequestStatus)
+	mux.HandleFunc("DELETE /v1/requests/{id}", s.handleRequestCancel)
+	mux.HandleFunc("GET /v1/requests/{id}/stream", s.handleRequestStream)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
@@ -54,15 +68,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeErr maps a submission/lookup error to an HTTP status.
+// writeErr maps a submission/lookup error (job or online request) to an
+// HTTP status.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrUnknownJob):
+	case errors.Is(err, ErrUnknownJob), errors.Is(err, online.ErrUnknownRequest):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrRejected):
+	case errors.Is(err, ErrRejected), errors.Is(err, online.ErrRejected):
 		status = http.StatusUnprocessableEntity
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, online.ErrQueueFull):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable

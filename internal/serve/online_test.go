@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/online"
+	"repro/internal/quant"
+	"repro/internal/workload"
+)
+
+// onlineEngine builds a colocated streaming engine on cluster 1 (one
+// V100) for the small model the serve tests use.
+func onlineEngine(t *testing.T) *online.Engine {
+	t.Helper()
+	spec, err := model.Lookup("opt-1.3b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu := cluster.MustPreset(1)
+	ind := core.ProfileIndicator(spec, []int{3, 4, 8, 16}, quant.Deterministic)
+	a, err := core.New(spec, clu, ind, core.Options{
+		Method: core.MethodHeuristic, Theta: 1, OrderingLimit: 4, Bits: []int{3, 4, 8, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := a.Plan(context.Background(), workload.Batch{Size: 8, ChunkLen: 256, Chunks: 1, GenTokens: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := online.New(online.Config{Spec: spec, PrefillPlan: p, PrefillCluster: clu, ChunkLen: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestOnlineTierOverHTTP drives the streaming request tier end to end
+// through the daemon: submit, NDJSON stream to completion, status,
+// cancel, error codes, and the online section of /v1/metrics.
+func TestOnlineTierOverHTTP(t *testing.T) {
+	eng := onlineEngine(t)
+	cfg := testConfig("")
+	cfg.Online = eng
+	srv, c := startServer(t, cfg)
+	defer shutdown(t, srv)
+	loopCtx, stopLoop := context.WithCancel(context.Background())
+	defer stopLoop()
+	go eng.Loop(loopCtx)
+
+	v, err := c.SubmitRequest(online.RequestSpec{PromptLen: 128, MaxTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" {
+		t.Fatal("submission returned no id")
+	}
+
+	// Stream to completion: exactly MaxTokens token events, then the
+	// terminal line.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var events []TokenEvent
+	if err := c.StreamRequest(ctx, v.ID, func(ev TokenEvent) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 7 {
+		t.Fatalf("got %d stream events, want 6 tokens + terminal: %+v", len(events), events)
+	}
+	for i, ev := range events[:6] {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if events[6].State != online.StateCompleted {
+		t.Fatalf("terminal event state = %s", events[6].State)
+	}
+
+	sv, err := c.Request(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.State != online.StateCompleted || sv.Tokens != 6 || sv.TTFT <= 0 {
+		t.Fatalf("final view: %+v", sv)
+	}
+
+	// Cancel round-trips. The engine fast-forwards virtual time while
+	// idle, so the request may legitimately complete before the cancel
+	// lands — determinism of cancellation itself is pinned by the
+	// engine's own tests; here we pin the endpoint contract.
+	fv, err := c.SubmitRequest(online.RequestSpec{PromptLen: 128, MaxTokens: 6, ArrivalSeconds: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := c.CancelRequest(fv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.State != online.StateCanceled && cv.State != online.StateCompleted &&
+		cv.State != online.StateQueued && cv.State != online.StateDecoding &&
+		cv.State != online.StatePrefilling && cv.State != online.StateHandoff {
+		t.Fatalf("cancel returned unexpected state %s", cv.State)
+	}
+
+	if rs, err := c.Requests(); err != nil || len(rs) != 2 {
+		t.Fatalf("list: %v, %d requests", err, len(rs))
+	}
+
+	// Error mapping: unknown id → 404, invalid spec → 422.
+	var se *StatusError
+	if _, err := c.Request("nope"); !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("unknown request: %v", err)
+	}
+	if _, err := c.SubmitRequest(online.RequestSpec{PromptLen: 0, MaxTokens: 1}); !errors.As(err, &se) || se.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid spec: %v", err)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Online == nil {
+		t.Fatal("metrics missing online section")
+	}
+	if m.Online.Completed < 1 || m.Online.TTFT.Count < 1 || m.Online.TBT.Count < 1 {
+		t.Fatalf("online metrics not populated: %+v", m.Online)
+	}
+}
+
+// TestOnlineTierDisabled pins the 404 for daemons without -online.
+func TestOnlineTierDisabled(t *testing.T) {
+	srv, c := startServer(t, testConfig(""))
+	defer shutdown(t, srv)
+	var se *StatusError
+	if _, err := c.Requests(); !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("disabled tier: %v", err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Online != nil {
+		t.Fatal("metrics grew an online section without an engine")
+	}
+}
+
+// TestOfflineLatencyPercentiles: completed batch jobs feed the
+// queue-wait and execution-latency digests in /v1/metrics.
+func TestOfflineLatencyPercentiles(t *testing.T) {
+	srv, c := startServer(t, testConfig(""))
+	defer shutdown(t, srv)
+	j, err := c.Submit(JobSpec{Model: "opt-1.3b", Batch: 8, Requests: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx, j.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobQueueWait.Count < 1 {
+		t.Fatalf("queue-wait digest empty: %+v", m.JobQueueWait)
+	}
+	if m.JobExecLatency.Count < 1 || m.JobExecLatency.P50 <= 0 {
+		t.Fatalf("exec-latency digest empty: %+v", m.JobExecLatency)
+	}
+	if m.JobQueueWait.P99 < m.JobQueueWait.P50 {
+		t.Fatalf("inconsistent digest: %+v", m.JobQueueWait)
+	}
+}

@@ -1,0 +1,143 @@
+// HTTP surface of the streaming request tier: when Config.Online wires
+// an online.Engine, the daemon exposes per-request submit, status,
+// cancel, list, and an NDJSON token stream beside the offline job API.
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/online"
+)
+
+// onlineOr404 fetches the engine or reports the tier as absent.
+func (s *Server) onlineOr404(w http.ResponseWriter) *online.Engine {
+	if s.cfg.Online == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "online tier disabled (start the daemon with -online)"})
+		return nil
+	}
+	return s.cfg.Online
+}
+
+func (s *Server) handleRequestSubmit(w http.ResponseWriter, r *http.Request) {
+	e := s.onlineOr404(w)
+	if e == nil {
+		return
+	}
+	var spec online.RequestSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed request spec: " + err.Error()})
+		return
+	}
+	id, err := e.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := e.Status(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, v)
+}
+
+func (s *Server) handleRequestList(w http.ResponseWriter, r *http.Request) {
+	e := s.onlineOr404(w)
+	if e == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]online.RequestView{"requests": e.List()})
+}
+
+func (s *Server) handleRequestStatus(w http.ResponseWriter, r *http.Request) {
+	e := s.onlineOr404(w)
+	if e == nil {
+		return
+	}
+	v, err := e.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleRequestCancel(w http.ResponseWriter, r *http.Request) {
+	e := s.onlineOr404(w)
+	if e == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if err := e.Cancel(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	v, err := e.Status(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// TokenEvent is one line of the NDJSON request stream: a token emission
+// (Seq ≥ 1, Time on the virtual clock) or, on the final line, the
+// request's terminal state.
+type TokenEvent struct {
+	ID    string       `json:"id"`
+	Seq   int          `json:"seq,omitempty"`
+	Time  float64      `json:"time,omitempty"`
+	State online.State `json:"state,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+// handleRequestStream follows one request as NDJSON token events until
+// it reaches a terminal state or the client goes away. Tokens already
+// emitted are replayed first, so a late subscriber sees the full
+// history.
+func (s *Server) handleRequestStream(w http.ResponseWriter, r *http.Request) {
+	e := s.onlineOr404(w)
+	if e == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if _, err := e.Status(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		// Grab the watch channel before snapshotting: a change landing
+		// between snapshot and select closes this channel and wakes us.
+		ch := e.Watch()
+		v, err := e.Status(id)
+		if err != nil {
+			return
+		}
+		for ; sent < len(v.TokenTimes); sent++ {
+			enc.Encode(TokenEvent{ID: id, Seq: sent + 1, Time: v.TokenTimes[sent]})
+		}
+		if v.State.Terminal() {
+			enc.Encode(TokenEvent{ID: id, State: v.State, Time: v.Finish, Error: v.Error})
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		}
+	}
+}

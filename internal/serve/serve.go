@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/online"
 	"repro/internal/scheduler"
 	"repro/internal/transport"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// health of a live stage chain — typically transport.Driver's
 	// RecoveryStats method.
 	TransportStats func() transport.RecoveryStats
+	// Online, when non-nil, mounts the streaming request tier
+	// (/v1/requests endpoints) on this daemon and folds its per-request
+	// SLO metrics into /v1/metrics. The caller owns the engine's event
+	// loop (typically online.Engine.Loop in a goroutine).
+	Online *online.Engine
 }
 
 // Metrics is the server counter snapshot served at /v1/metrics.
@@ -115,6 +121,14 @@ type Metrics struct {
 	TransportReplayedTokens uint64 `json:"transport_replayed_tokens"`
 	TransportFailedAttempts uint64 `json:"transport_failed_attempts"`
 	TransportRecoveries     uint64 `json:"transport_recoveries"`
+	// JobQueueWait and JobExecLatency digest offline job latencies:
+	// submission → execution start, and execution start → terminal
+	// state (completed jobs only for exec latency).
+	JobQueueWait   online.Summary `json:"job_queue_wait"`
+	JobExecLatency online.Summary `json:"job_exec_latency"`
+	// Online carries the streaming tier's per-request SLO metrics when
+	// Config.Online is wired (absent otherwise).
+	Online *online.Metrics `json:"online,omitempty"`
 }
 
 // Server is the control-plane instance. Create with New, optionally
@@ -138,6 +152,10 @@ type Server struct {
 	draining bool
 	stopping bool
 	met      Metrics
+	// waitS / execS hold per-job queue-wait and execution-latency
+	// samples (seconds) for the /v1/metrics percentile digests.
+	waitS []float64
+	execS []float64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -340,6 +358,9 @@ func (s *Server) finishLocked(j *job, st State, errMsg string) {
 	j.state = st
 	j.errMsg = errMsg
 	j.finished = time.Now()
+	if st == StateCompleted && !j.started.IsZero() {
+		s.execS = append(s.execS, j.finished.Sub(j.started).Seconds())
+	}
 	switch st {
 	case StateCompleted:
 		s.met.Completed++
@@ -377,6 +398,12 @@ func (s *Server) Metrics() Metrics {
 		m.TransportReplayedTokens = ts.ReplayedTokens
 		m.TransportFailedAttempts = ts.FailedAttempts
 		m.TransportRecoveries = ts.Recoveries
+	}
+	m.JobQueueWait = online.Summarize(s.waitS)
+	m.JobExecLatency = online.Summarize(s.execS)
+	if s.cfg.Online != nil {
+		om := s.cfg.Online.Metrics()
+		m.Online = &om
 	}
 	return m
 }

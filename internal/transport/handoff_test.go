@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestHandoffMatchesReference is the disaggregated-serving contract: a
+// prefill chain produces the first token plus a token log, a decode
+// chain with a *different* stage split resumes from the log, and the
+// concatenated output equals one uninterrupted Reference generation.
+func TestHandoffMatchesReference(t *testing.T) {
+	const n = 16
+	prompt := RandomPrompt(stats.NewRNG(7), cfg.Vocab, 12)
+
+	// Prefill pool: two stages.
+	preAddrs, preCleanup := startPipeline(t, nil, [][2]int{{0, 3}, {3, 6}})
+	defer preCleanup()
+	pre, err := NewDriver(cfg, seed, preAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+
+	// Decode pool: three stages — a genuinely different chain.
+	decAddrs, decCleanup := startPipeline(t, nil, [][2]int{{0, 2}, {2, 4}, {4, 6}})
+	defer decCleanup()
+	dec, err := NewDriver(cfg, seed, decAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+
+	first, log, err := pre.GenerateLog(prompt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 1 {
+		t.Fatalf("prefill pool emitted %d tokens, want 1", len(first))
+	}
+	if len(log.Done) != 0 || log.Next != first[0] {
+		t.Fatalf("pure-prefill log should carry only the pending first token: %+v", log)
+	}
+	rest, err := dec.Resume(log, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Reference(cfg, seed, nil, prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]int(nil), first...), rest...)
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: handoff %d vs reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHandoffMidDecode hands off after several decoded tokens (the
+// producer's KV caches hold prompt + k−1 positions) and checks the
+// quantized chains still splice bit-identically.
+func TestHandoffMidDecode(t *testing.T) {
+	bits := []int{4, 4, 8, 8, 16, 16}
+	const k, n = 5, 14
+	prompt := RandomPrompt(stats.NewRNG(11), cfg.Vocab, 9)
+
+	preAddrs, preCleanup := startPipeline(t, bits, [][2]int{{0, 6}})
+	defer preCleanup()
+	pre, err := NewDriver(cfg, seed, preAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pre.Close()
+
+	decAddrs, decCleanup := startPipeline(t, bits, [][2]int{{0, 2}, {2, 6}})
+	defer decCleanup()
+	dec, err := NewDriver(cfg, seed, decAddrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+
+	head, log, err := pre.GenerateLog(prompt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Done) != k-1 {
+		t.Fatalf("log forwarded %d tokens, want %d", len(log.Done), k-1)
+	}
+	if log.Positions() != len(prompt)+k-1 {
+		t.Fatalf("log covers %d positions, want %d", log.Positions(), len(prompt)+k-1)
+	}
+	tail, err := dec.Resume(log, n-k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Reference(cfg, seed, bits, prompt, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]int(nil), head...), tail...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: handoff %d vs reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestHandoffLogValidation exercises the malformed-log paths.
+func TestHandoffLogValidation(t *testing.T) {
+	addrs, cleanup := startPipeline(t, nil, [][2]int{{0, 6}})
+	defer cleanup()
+	d, err := NewDriver(cfg, seed, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.Resume(nil, 4); err == nil {
+		t.Fatal("nil log accepted")
+	}
+	if _, err := d.Resume(&TokenLog{Next: 3}, 4); err == nil {
+		t.Fatal("promptless log accepted")
+	}
+	if _, err := d.Resume(&TokenLog{Prompt: []int{1, 2}, Next: -1}, 4); err == nil {
+		t.Fatal("log without pending token accepted")
+	}
+	if _, _, err := d.GenerateLog(nil, 1); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+	if _, _, err := d.GenerateLog([]int{1, 2}, 0); err == nil {
+		t.Fatal("n=0 handoff accepted (no pending token to hand off)")
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestSamplingDeterministic: each generator must yield the identical
+// request sequence under the same seed — the online tier's seeded
+// closed-loop driver and the tracked BENCH_online.json snapshot both
+// depend on it — and a different sequence under a different seed (a
+// generator ignoring its RNG would pass the first half vacuously).
+func TestSamplingDeterministic(t *testing.T) {
+	gens := map[string]func(*stats.RNG, int) *Profile{
+		"sharegpt":      ShareGPT,
+		"cnn-dailymail": CNNDailyMail,
+		"loogle":        LooGLE,
+	}
+	for name, gen := range gens {
+		a := gen(stats.NewRNG(7), 200)
+		b := gen(stats.NewRNG(7), 200)
+		if !reflect.DeepEqual(a.Requests, b.Requests) {
+			t.Errorf("%s: same seed produced different samples", name)
+		}
+		c := gen(stats.NewRNG(8), 200)
+		if reflect.DeepEqual(a.Requests, c.Requests) {
+			t.Errorf("%s: different seeds produced identical samples", name)
+		}
+	}
+}
+
+// TestSamplingTailClamp pins the generators' hard length bounds: the
+// log-normal tails must be clamped to each corpus's documented maxima
+// and every length must stay positive, so synthesized batches can never
+// exceed a model's position budget by way of an unlucky tail draw.
+func TestSamplingTailClamp(t *testing.T) {
+	cases := []struct {
+		name                 string
+		p                    *Profile
+		maxPrompt, maxOutput int
+	}{
+		{"sharegpt", ShareGPT(stats.NewRNG(1), 5000), 8192, 2048},
+		{"cnn-dailymail", CNNDailyMail(stats.NewRNG(1), 5000), 4096, 1024},
+		{"loogle", LooGLE(stats.NewRNG(1), 5000), 262144, 512},
+	}
+	for _, tc := range cases {
+		hitPromptCap, hitOutputCap := false, false
+		for _, r := range tc.p.Requests {
+			if r.PromptLen < 1 || r.OutputLen < 1 {
+				t.Fatalf("%s: non-positive length %+v", tc.name, r)
+			}
+			if r.PromptLen > tc.maxPrompt {
+				t.Fatalf("%s: prompt %d exceeds the %d clamp", tc.name, r.PromptLen, tc.maxPrompt)
+			}
+			if r.OutputLen > tc.maxOutput {
+				t.Fatalf("%s: output %d exceeds the %d clamp", tc.name, r.OutputLen, tc.maxOutput)
+			}
+			hitPromptCap = hitPromptCap || r.PromptLen == tc.maxPrompt
+			hitOutputCap = hitOutputCap || r.OutputLen == tc.maxOutput
+		}
+		// LooGLE's ~97k-token mean puts real mass at the 262k cap; the
+		// clamp must actually fire there, not just hold vacuously.
+		if tc.name == "loogle" && !hitPromptCap {
+			t.Errorf("loogle: 5000 draws never reached the %d prompt clamp", tc.maxPrompt)
+		}
+	}
+}
