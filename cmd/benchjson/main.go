@@ -1,15 +1,19 @@
 // Command benchjson maintains the committed benchmark snapshots:
 // BENCH_replan.json (replan latency under seeded cluster churn, planner
-// parallel speedup, serve throughput) and BENCH_online.json (the online
-// tier's SLO quantities under a fixed seeded closed-loop scenario). The
-// measurement logic lives in internal/perf.
+// parallel speedup, serve throughput), BENCH_online.json (the online
+// tier's SLO quantities under a fixed seeded closed-loop scenario), and
+// BENCH_capacity.json (the capacity planner's recommended fleet, cost,
+// and analytic-vs-simulated agreement). The measurement logic lives in
+// internal/perf.
 //
-//	benchjson -out BENCH_replan.json             # regenerate the replan snapshot
-//	benchjson -check BENCH_replan.json           # CI gate: staleness + regression
-//	benchjson -out-online BENCH_online.json      # regenerate the online snapshot
-//	benchjson -check-online BENCH_online.json    # CI gate: staleness + regression
+//	benchjson -out BENCH_replan.json               # regenerate the replan snapshot
+//	benchjson -check BENCH_replan.json             # CI gate: staleness + regression
+//	benchjson -out-online BENCH_online.json        # regenerate the online snapshot
+//	benchjson -check-online BENCH_online.json      # CI gate: staleness + regression
+//	benchjson -out-capacity BENCH_capacity.json    # regenerate the capacity snapshot
+//	benchjson -check-capacity BENCH_capacity.json  # CI gate: staleness + regression
 //
-// Flags combine, so `make bench-json` gates both files in one run. A
+// Flags combine, so `make bench-json` gates all files in one run. A
 // check fails when the committed snapshot was generated from different
 // benchmark scenarios than the checked-out code measures (config
 // fingerprint mismatch — regenerate with -out / -out-online), or on
@@ -52,15 +56,23 @@ type onlineSnapshot struct {
 	Online *perf.OnlineResult `json:"online_serving"`
 }
 
+// capacitySnapshot is the BENCH_capacity.json document.
+type capacitySnapshot struct {
+	Config   string               `json:"config"`
+	Capacity *perf.CapacityResult `json:"capacity_planning"`
+}
+
 func main() {
 	out := flag.String("out", "", "write a fresh replan/parallel/serve snapshot to this file")
 	check := flag.String("check", "", "verify a committed replan snapshot: fail on staleness or replan-latency regression")
 	outOnline := flag.String("out-online", "", "write a fresh online-serving snapshot to this file")
 	checkOnline := flag.String("check-online", "", "verify a committed online snapshot: fail on staleness or goodput/TTFT regression")
+	outCapacity := flag.String("out-capacity", "", "write a fresh capacity-planning snapshot to this file")
+	checkCapacity := flag.String("check-capacity", "", "verify a committed capacity snapshot: fail on staleness, cost/accuracy regression, or SLO miss")
 	jobs := flag.Int("jobs", 20, "jobs per serve-throughput arm (with -out)")
 	flag.Parse()
-	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" {
-		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online is required"))
+	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" && *outCapacity == "" && *checkCapacity == "" {
+		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online, -out-capacity, -check-capacity is required"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -76,6 +88,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *outCapacity != "" {
+		if err := writeCapacity(ctx, *outCapacity); err != nil {
+			fatal(err)
+		}
+	}
 	if *check != "" {
 		if err := verify(ctx, *check); err != nil {
 			fatal(err)
@@ -83,6 +100,11 @@ func main() {
 	}
 	if *checkOnline != "" {
 		if err := verifyOnline(ctx, *checkOnline); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkCapacity != "" {
+		if err := verifyCapacity(ctx, *checkCapacity); err != nil {
 			fatal(err)
 		}
 	}
@@ -131,6 +153,25 @@ func writeOnline(ctx context.Context, path string) error {
 	fmt.Printf("online:   %d/%d completed, %.0f%% SLO attainment, ttft p50 %.3fs / p95 %.3fs, tbt p50 %.4fs, goodput %.1f tok/s, %d handoffs\n",
 		res.Completed, res.Requests, res.DeadlineHitRate*100,
 		res.TTFTP50, res.TTFTP95, res.TBTP50, res.GoodputTPS, res.Handoffs)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeCapacity runs the seeded capacity-planning scenario and writes
+// the snapshot.
+func writeCapacity(ctx context.Context, path string) error {
+	fmt.Fprintln(os.Stderr, "benchjson: running seeded capacity-planning scenario (fleet search + replay)...")
+	res, err := perf.CapacityPlanning(ctx)
+	if err != nil {
+		return err
+	}
+	snap := capacitySnapshot{Config: perf.CapacityConfigFingerprint(), Capacity: res}
+	if err := writeJSON(path, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("capacity: fleet %s at %.2f/h (%d tried, %d pruned), wait p95 %.3fs analytic / %.3fs simulated (%.0f%% apart)\n",
+		res.Fleet, res.CostPerHour, res.CandidatesTried, res.CandidatesPruned,
+		res.AnaQueueWaitP95, res.SimQueueWaitP95, res.WaitAgreement*100)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
@@ -204,6 +245,47 @@ func verifyOnline(ctx context.Context, path string) error {
 	}
 	fmt.Printf("online goodput %.1f tok/s (committed %.1f), ttft p50 %.3fs (committed %.3fs): ok\n",
 		cur.GoodputTPS, snap.Online.GoodputTPS, cur.TTFTP50, snap.Online.TTFTP50)
+	return nil
+}
+
+// verifyCapacity re-runs the capacity-planning scenario and gates the
+// fleet cost and the analytic-vs-simulated queue-wait agreement against
+// the committed snapshot. Everything is a deterministic virtual-clock
+// simulation: drift past tolerance means the planner, the queueing
+// model, or the cost model genuinely changed behavior. (An SLO miss or
+// agreement worse than 20% fails inside perf.CapacityPlanning itself.)
+func verifyCapacity(ctx context.Context, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap capacitySnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want := perf.CapacityConfigFingerprint(); snap.Config != want {
+		return fmt.Errorf("%s is stale: snapshot config %s, code measures %s — regenerate with `make bench-json-out`",
+			path, snap.Config, want)
+	}
+	if snap.Capacity == nil || snap.Capacity.CostPerHour <= 0 {
+		return fmt.Errorf("%s: no committed capacity recommendation to gate against", path)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: re-running seeded capacity-planning scenario...")
+	cur, err := perf.CapacityPlanning(ctx)
+	if err != nil {
+		return err
+	}
+	if ceil := snap.Capacity.CostPerHour * (1 + regressionTolerance); cur.CostPerHour > ceil {
+		return fmt.Errorf("capacity cost regressed: recommended fleet %s at %.2f/h is more than %.0f%% above the committed %.2f/h (ceiling %.2f)",
+			cur.Fleet, cur.CostPerHour, regressionTolerance*100, snap.Capacity.CostPerHour, ceil)
+	}
+	if ceil := snap.Capacity.SimQueueWaitP95 * (1 + regressionTolerance); cur.SimQueueWaitP95 > ceil {
+		return fmt.Errorf("capacity wait regressed: simulated queue-wait p95 %.3fs is more than %.0f%% above the committed %.3fs (ceiling %.3fs)",
+			cur.SimQueueWaitP95, regressionTolerance*100, snap.Capacity.SimQueueWaitP95, ceil)
+	}
+	fmt.Printf("capacity fleet %s at %.2f/h (committed %.2f/h), sim wait p95 %.3fs (committed %.3fs), agreement %.0f%%: ok\n",
+		cur.Fleet, cur.CostPerHour, snap.Capacity.CostPerHour,
+		cur.SimQueueWaitP95, snap.Capacity.SimQueueWaitP95, cur.WaitAgreement*100)
 	return nil
 }
 

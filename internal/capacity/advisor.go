@@ -1,0 +1,67 @@
+package capacity
+
+import "math"
+
+// PoolAdvice is the per-pool capacity verdict the serve daemon exports
+// on /v1/metrics: the measured utilization against the pool's device
+// count, and the device count the utilization actually calls for.
+type PoolAdvice struct {
+	// Pool names the pool ("prefill", "decode").
+	Pool string `json:"pool"`
+	// Devices is the pool's current device count; Utilization the
+	// measured load against it (busy fraction for the prefill pool,
+	// occupancy/capacity for the decode pool).
+	Devices     int     `json:"devices"`
+	Utilization float64 `json:"utilization"`
+	// TargetRho is the utilization ceiling the advice sizes for.
+	TargetRho float64 `json:"target_rho"`
+	// RecommendedDevices keeps the measured demand under TargetRho:
+	// ceil(Devices · Utilization / TargetRho), at least 1.
+	RecommendedDevices int `json:"recommended_devices"`
+	// Action summarizes the comparison: "scale-up", "scale-down", or
+	// "hold".
+	Action string `json:"action"`
+	// Saturated marks utilization at or beyond 1: demand exceeds the
+	// pool outright and RecommendedDevices is a lower bound.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// Advise sizes one pool: given its device count and measured
+// utilization, it returns the smallest device count that keeps the same
+// demand under targetRho (0 → the 0.85 default). Demand is conserved —
+// utilization · devices device-equivalents of work — so the
+// recommendation stays meaningful whether the pool is over- or
+// under-provisioned.
+func Advise(pool string, devices int, utilization, targetRho float64) PoolAdvice {
+	if targetRho <= 0 {
+		targetRho = SLO{}.withDefaults().MaxRho
+	}
+	if devices < 1 {
+		devices = 1
+	}
+	if utilization < 0 {
+		utilization = 0
+	}
+	demand := utilization * float64(devices)
+	rec := int(math.Ceil(demand / targetRho))
+	if rec < 1 {
+		rec = 1
+	}
+	adv := PoolAdvice{
+		Pool:               pool,
+		Devices:            devices,
+		Utilization:        utilization,
+		TargetRho:          targetRho,
+		RecommendedDevices: rec,
+		Saturated:          utilization >= 1,
+	}
+	switch {
+	case rec > devices:
+		adv.Action = "scale-up"
+	case rec < devices:
+		adv.Action = "scale-down"
+	default:
+		adv.Action = "hold"
+	}
+	return adv
+}

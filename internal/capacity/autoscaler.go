@@ -1,0 +1,189 @@
+package capacity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+	"repro/internal/scheduler"
+)
+
+// AutoscalerConfig shapes one pool's closed-loop scaler.
+type AutoscalerConfig struct {
+	// Pool is the scheduler.FleetState resource to scale; Class the
+	// device class bought and sold.
+	Pool  string
+	Class gpu.DeviceClass
+	// TargetRho is the utilization the scaler sizes for (default 0.85):
+	// scale-up triggers when demand over intact capacity exceeds it.
+	TargetRho float64
+	// LowWatermark is the utilization below which scale-down is allowed
+	// (default TargetRho/2). The gap between the two is the hysteresis
+	// band that keeps the scaler from flapping.
+	LowWatermark float64
+	// ProvisionDelay is the seconds between a scale-up decision and the
+	// devices becoming usable — the head start preemption reclamation
+	// has on the scaler. Scale-down is immediate (decommissioning frees
+	// devices now).
+	ProvisionDelay float64
+	// Cooldown is the minimum seconds between scale decisions
+	// (default 0); in-flight provisions are never double-counted
+	// regardless.
+	Cooldown float64
+	// MinDevices/MaxDevices clamp the pool's intact size (defaults 1
+	// and no cap).
+	MinDevices int
+	MaxDevices int
+}
+
+func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
+	if c.TargetRho <= 0 {
+		c.TargetRho = SLO{}.withDefaults().MaxRho
+	}
+	if c.LowWatermark <= 0 {
+		c.LowWatermark = c.TargetRho / 2
+	}
+	if c.MinDevices < 1 {
+		c.MinDevices = 1
+	}
+	return c
+}
+
+// ScaleEvent is one autoscaler decision or delivery.
+type ScaleEvent struct {
+	// At is the observation clock the event fired at, seconds.
+	At float64 `json:"at_seconds"`
+	// Action is "provision" (scale-up ordered, devices in flight),
+	// "expand" (provisioned devices delivered to the pool), "contract"
+	// (scale-down applied), or "defer" (scale-down blocked because the
+	// devices are currently reclaimed by preemption).
+	Action string          `json:"action"`
+	Class  gpu.DeviceClass `json:"class"`
+	Count  int             `json:"count"`
+	Detail string          `json:"detail,omitempty"`
+}
+
+// Autoscaler drives scheduler.FleetState Expand/Contract from
+// utilization observations, racing the online tier's Preempt/Restore
+// cycle: preemptions shrink usable capacity immediately (spiking the
+// measured utilization), while the scaler's ordered devices only land
+// after ProvisionDelay — so a reclaim that outlives the delay gets
+// absorbed by new capacity, and one that doesn't is simply returned
+// first. Scale-down refuses to sell reclaimed devices (FleetState owes
+// them back to the pool), deferring until they are restored.
+//
+// The scaler is single-threaded by design: Observe is called from one
+// control loop with a monotone clock.
+type Autoscaler struct {
+	fs  *scheduler.FleetState
+	cfg AutoscalerConfig
+	// pending are ordered-but-undelivered scale-ups.
+	pending []pendingScale
+	lastAct float64
+	events  []ScaleEvent
+}
+
+type pendingScale struct {
+	dueAt float64
+	count int
+}
+
+// NewAutoscaler wraps a fleet state; cfg.Pool must exist in it.
+func NewAutoscaler(fs *scheduler.FleetState, cfg AutoscalerConfig) (*Autoscaler, error) {
+	cfg = cfg.withDefaults()
+	if _, err := fs.Snapshot(cfg.Pool); err != nil {
+		return nil, err
+	}
+	return &Autoscaler{fs: fs, cfg: cfg, lastAct: math.Inf(-1)}, nil
+}
+
+// Inflight is the count of ordered-but-undelivered devices.
+func (a *Autoscaler) Inflight() int {
+	n := 0
+	for _, p := range a.pending {
+		n += p.count
+	}
+	return n
+}
+
+// Events returns every decision made so far, in order.
+func (a *Autoscaler) Events() []ScaleEvent { return a.events }
+
+// Observe feeds one utilization measurement at the given clock:
+// utilization is the pool's measured load against its currently usable
+// devices (a preemption therefore raises it even at constant demand).
+// It delivers due provisions, then decides at most one scale action,
+// and returns the events fired this call.
+func (a *Autoscaler) Observe(now, utilization float64) ([]ScaleEvent, error) {
+	fired := len(a.events)
+
+	// Deliver provisions that have finished their lead time.
+	keep := a.pending[:0]
+	for _, p := range a.pending {
+		if p.dueAt <= now {
+			if _, err := a.fs.Expand(a.cfg.Pool, a.cfg.Class, p.count); err != nil {
+				return nil, fmt.Errorf("capacity: delivering provision: %w", err)
+			}
+			a.events = append(a.events, ScaleEvent{At: now, Action: "expand", Class: a.cfg.Class, Count: p.count})
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	a.pending = keep
+
+	view, err := a.fs.Snapshot(a.cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	if utilization < 0 {
+		utilization = 0
+	}
+	usable := view.Devices
+	if usable < 1 {
+		usable = 1
+	}
+	// Demand in device-equivalents, measured against what is usable now;
+	// desired is the intact size that keeps it under TargetRho.
+	demand := utilization * float64(usable)
+	desired := int(math.Ceil(demand / a.cfg.TargetRho))
+	if desired < a.cfg.MinDevices {
+		desired = a.cfg.MinDevices
+	}
+	if a.cfg.MaxDevices > 0 && desired > a.cfg.MaxDevices {
+		desired = a.cfg.MaxDevices
+	}
+	onOrder := view.TotalDevices + a.Inflight()
+
+	if now-a.lastAct < a.cfg.Cooldown {
+		return a.events[fired:], nil
+	}
+	switch {
+	case desired > onOrder:
+		n := desired - onOrder
+		a.pending = append(a.pending, pendingScale{dueAt: now + a.cfg.ProvisionDelay, count: n})
+		a.lastAct = now
+		ev := ScaleEvent{At: now, Action: "provision", Class: a.cfg.Class, Count: n,
+			Detail: fmt.Sprintf("rho %.2f over target %.2f; due at %.0fs", utilization, a.cfg.TargetRho, now+a.cfg.ProvisionDelay)}
+		a.events = append(a.events, ev)
+		if a.cfg.ProvisionDelay <= 0 {
+			// Zero lead time: deliver in the same observation.
+			if _, err := a.fs.Expand(a.cfg.Pool, a.cfg.Class, n); err != nil {
+				return nil, fmt.Errorf("capacity: delivering provision: %w", err)
+			}
+			a.pending = a.pending[:len(a.pending)-1]
+			a.events = append(a.events, ScaleEvent{At: now, Action: "expand", Class: a.cfg.Class, Count: n})
+		}
+	case desired < view.TotalDevices && utilization < a.cfg.LowWatermark && a.Inflight() == 0:
+		n := view.TotalDevices - desired
+		if _, err := a.fs.Contract(a.cfg.Pool, a.cfg.Class, n); err != nil {
+			// Reclaimed devices cannot be sold: FleetState owes them back.
+			a.events = append(a.events, ScaleEvent{At: now, Action: "defer", Class: a.cfg.Class, Count: n,
+				Detail: err.Error()})
+		} else {
+			a.lastAct = now
+			a.events = append(a.events, ScaleEvent{At: now, Action: "contract", Class: a.cfg.Class, Count: n,
+				Detail: fmt.Sprintf("rho %.2f under watermark %.2f", utilization, a.cfg.LowWatermark)})
+		}
+	}
+	return a.events[fired:], nil
+}

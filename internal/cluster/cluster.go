@@ -203,6 +203,39 @@ func (c *Cluster) Shrink(class gpu.DeviceClass, n int) (*Cluster, error) {
 	return out, nil
 }
 
+// Grow returns a copy of the cluster with n devices of class added —
+// the inverse of Shrink, used when a capacity autoscaler provisions
+// extra GPUs into a pool. Devices land on the last existing node of the
+// class (so a Shrink-then-Grow round trip restores the original node
+// layout and device IDs); when no node of the class exists, a new
+// NVLink node named "scale-<class>" is appended.
+func (c *Cluster) Grow(class gpu.DeviceClass, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster %q: grow by %d devices", c.Name, n)
+	}
+	if _, err := gpu.Lookup(class); err != nil {
+		return nil, fmt.Errorf("cluster %q: %w", c.Name, err)
+	}
+	nodes := append([]Node(nil), c.Nodes...)
+	placed := false
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if nodes[i].Class == class {
+			nodes[i].Count += n
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		nodes = append(nodes, Node{
+			Name:    fmt.Sprintf("scale-%s", strings.ToLower(string(class))),
+			Class:   class,
+			Count:   n,
+			IntraBW: NVLinkBW,
+		})
+	}
+	return &Cluster{Name: c.Name, Nodes: nodes, InterBW: c.InterBW}, nil
+}
+
 // LinkBandwidth returns the bandwidth between two devices: intra-node
 // interconnect when co-located, the inter-node fabric otherwise.
 func (c *Cluster) LinkBandwidth(a, b *Device) float64 {

@@ -46,6 +46,58 @@ func (e *Engine) SubmitAll(specs []RequestSpec) []string {
 	return ids
 }
 
+// Replay drives the engine over a pre-drawn trace with just-in-time
+// submission: at most window future arrivals are in flight at any
+// moment, so QueueCapacity gates the actual backlog the way it would in
+// a live daemon — not the entire remaining trace, as SubmitAll does.
+// Specs must be sorted by ArrivalSeconds (Arrivals emits them sorted).
+// It returns the final metrics after the engine drains; rejected
+// submissions surface in Metrics.Rejected.
+func (e *Engine) Replay(specs []RequestSpec, window int) Metrics {
+	if window <= 0 {
+		window = e.cfg.MaxPrefillBatch
+	}
+	if window > e.cfg.QueueCapacity/2 && e.cfg.QueueCapacity >= 2 {
+		window = e.cfg.QueueCapacity / 2
+	}
+	i := 0
+	for {
+		clock := e.Clock()
+		// Arrivals that are due get submitted unconditionally: the
+		// engine admits or sheds them exactly as a live daemon would.
+		for i < len(specs) && specs[i].ArrivalSeconds <= clock {
+			e.Submit(specs[i])
+			i++
+		}
+		// Pre-stage a bounded look-ahead of future arrivals — enough
+		// that clock jumps land on them, never enough to make admission
+		// control shed load that has not arrived yet.
+		for i < len(specs) && e.futureRoom(window) {
+			e.Submit(specs[i])
+			i++
+		}
+		if !e.Step() {
+			if i >= len(specs) {
+				break
+			}
+			// Idle with trace left: feed the next arrival so the clock
+			// can jump to it.
+			e.Submit(specs[i])
+			i++
+		}
+	}
+	return e.Metrics()
+}
+
+// futureRoom reports whether another future arrival can be pre-staged:
+// fewer than window arrivals already in flight and admission-control
+// headroom to spare.
+func (e *Engine) futureRoom(window int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending) < window && len(e.pending)+len(e.waiting) < e.cfg.QueueCapacity
+}
+
 // Loop drives the engine until ctx is cancelled: it steps while events
 // are due and blocks on the engine's watch channel while idle. This is
 // the serve daemon's live mode — submissions wake the loop, which runs

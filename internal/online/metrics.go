@@ -25,6 +25,25 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
+// SummarizeReservoir digests a bounded latency population: the count
+// and mean are exact over every observation ever added, the percentiles
+// are estimated from the reservoir's kept sample in one sorted pass —
+// O(capacity) per scrape regardless of how many requests the daemon has
+// served. A nil or empty reservoir digests to the zero Summary.
+func SummarizeReservoir(r *stats.Reservoir) Summary {
+	if r == nil || r.Count() == 0 {
+		return Summary{}
+	}
+	qs := r.Quantiles(50, 95, 99)
+	return Summary{
+		Count: int(r.Count()),
+		Mean:  r.Mean(),
+		P50:   qs[0],
+		P95:   qs[1],
+		P99:   qs[2],
+	}
+}
+
 // Metrics is the online tier's aggregate view: request counters by
 // outcome, SLO attainment, and the per-request latency populations —
 // queue wait (arrival → prefill start), TTFT (arrival → first token),
@@ -62,6 +81,15 @@ type Metrics struct {
 	// currency (per-layer bytes of the tightest stage).
 	KVBudgetBytes int64 `json:"kv_budget_bytes"`
 	KVInUseBytes  int64 `json:"kv_in_use_bytes"`
+
+	// PrefillBusyFraction is the fraction of wall (virtual) time the
+	// prefill pool spent in service; DecodeBusyFraction likewise for the
+	// decode pool; DecodeOccupancy is the time-averaged decode batch
+	// size. These are the measured counterparts of the capacity
+	// planner's analytic BusyFraction / Occupancy predictions.
+	PrefillBusyFraction float64 `json:"prefill_busy_fraction"`
+	DecodeBusyFraction  float64 `json:"decode_busy_fraction"`
+	DecodeOccupancy     float64 `json:"decode_occupancy"`
 }
 
 // Metrics snapshots the aggregate state.
@@ -83,14 +111,17 @@ func (e *Engine) Metrics() Metrics {
 		Handoffs:         e.handoffs,
 		HandoffTransfers: e.handoffTransfers,
 		HandoffReplays:   e.handoffReplays,
-		QueueWait:        Summarize(e.waitS),
-		TTFT:             Summarize(e.ttftS),
-		TBT:              Summarize(e.tbtS),
+		QueueWait:        SummarizeReservoir(e.waitS),
+		TTFT:             SummarizeReservoir(e.ttftS),
+		TBT:              SummarizeReservoir(e.tbtS),
 		KVBudgetBytes:    e.kvBudget,
 		KVInUseBytes:     e.kvInUse,
 	}
 	if e.clock > 0 {
 		m.GoodputTPS = float64(e.completedTokens) / e.clock
+		m.PrefillBusyFraction = e.prefillBusy / e.clock
+		m.DecodeBusyFraction = e.decodeBusy / e.clock
+		m.DecodeOccupancy = e.decodeTokenSeconds / e.clock
 	}
 	return m
 }

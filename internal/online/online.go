@@ -26,6 +26,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -148,7 +149,7 @@ type RequestView struct {
 	// HandoffMode is "transfer" or "replay" once the request migrated
 	// pools, empty in colocated mode.
 	HandoffMode string `json:"handoff_mode,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	Error       string `json:"error,omitempty"`
 }
 
 type request struct {
@@ -192,13 +193,29 @@ type Engine struct {
 	prefillCache map[[2]int]float64
 	replayCache  map[int]float64
 
-	// metric accumulators
+	// metric accumulators. The latency populations are fixed-capacity
+	// seeded reservoirs (stats.Reservoir), not slices: a long-running
+	// daemon observes millions of requests, and both the memory held and
+	// the per-scrape digest cost must stay O(reservoir), not O(total).
+	// The seeds are fixed, so under the virtual clock the kept samples —
+	// and every percentile a scrape reports — are deterministic.
 	submitted, completed, expired, canceled, rejected int64
 	completedTokens                                   int64
 	deadlineHits, deadlineMisses                      int64
 	handoffs, handoffTransfers, handoffReplays        int64
-	ttftS, tbtS, waitS                                []float64
+	ttftS, tbtS, waitS                                *stats.Reservoir
+	// Per-pool busy-time integrals: prefillBusy accumulates group
+	// service seconds, decodeBusy accumulates decode-step seconds, and
+	// decodeTokenSeconds integrates batch-size · step-seconds (so
+	// decodeTokenSeconds/clock is the mean decode occupancy).
+	prefillBusy, decodeBusy, decodeTokenSeconds float64
 }
+
+// reservoirCap bounds each latency population's kept sample. Runs with
+// fewer requests than this are digested exactly (the reservoir keeps
+// everything until it fills), so the committed BENCH_online.json
+// percentiles are unaffected by the sampling.
+const reservoirCap = 4096
 
 // New validates the config and builds an idle engine at clock 0.
 func New(cfg Config) (*Engine, error) {
@@ -215,6 +232,9 @@ func New(cfg Config) (*Engine, error) {
 		disagg:       c.DecodePlan != nil,
 		prefillCache: map[[2]int]float64{},
 		replayCache:  map[int]float64{},
+		ttftS:        stats.NewReservoir(reservoirCap, 0xceed1),
+		tbtS:         stats.NewReservoir(reservoirCap, 0xceed2),
+		waitS:        stats.NewReservoir(reservoirCap, 0xceed3),
 	}
 	if !e.disagg {
 		e.decodePlan = c.PrefillPlan
@@ -233,6 +253,17 @@ func (e *Engine) Clock() float64 {
 
 // Disaggregated reports whether the engine runs split pools.
 func (e *Engine) Disaggregated() bool { return e.disagg }
+
+// PoolDevices reports the device counts behind the engine's pools:
+// prefill always, decode only in disaggregated mode (0 when the
+// prefill pool decodes too).
+func (e *Engine) PoolDevices() (prefill, decode int) {
+	prefill = e.cfg.PrefillCluster.TotalDevices()
+	if e.cfg.DecodeCluster != nil {
+		decode = e.cfg.DecodeCluster.TotalDevices()
+	}
+	return prefill, decode
+}
 
 // Watch returns a channel closed at the next engine state change.
 func (e *Engine) Watch() <-chan struct{} {
@@ -378,7 +409,7 @@ func (e *Engine) finishLocked(r *request, st State, t float64) {
 		e.completed++
 		e.completedTokens += int64(len(r.tokens))
 		if n := len(r.tokens); n > 1 {
-			e.tbtS = append(e.tbtS, (r.tokens[n-1]-r.tokens[0])/float64(n-1))
+			e.tbtS.Add((r.tokens[n-1] - r.tokens[0]) / float64(n-1))
 		}
 		if r.deadline > 0 {
 			if t <= r.deadline+1e-12 {
@@ -500,7 +531,7 @@ func (e *Engine) Step() bool {
 	if len(e.prefilling) > 0 && e.clock >= e.prefillEnd-1e-12 {
 		for _, r := range e.prefilling {
 			r.tokens = append(r.tokens, e.prefillEnd)
-			e.ttftS = append(e.ttftS, e.prefillEnd-r.arrival)
+			e.ttftS.Add(e.prefillEnd - r.arrival)
 			switch {
 			case r.cancel:
 				e.finishLocked(r, StateCanceled, e.prefillEnd)
@@ -560,10 +591,11 @@ func (e *Engine) Step() bool {
 				for _, r := range group {
 					r.state = StatePrefilling
 					r.started = e.clock
-					e.waitS = append(e.waitS, e.clock-r.arrival)
+					e.waitS.Add(e.clock - r.arrival)
 				}
 				e.prefilling = group
 				e.prefillEnd = e.clock + sec
+				e.prefillBusy += sec
 			}
 		}
 	}
@@ -631,7 +663,10 @@ func (e *Engine) Step() bool {
 				ctx = c
 			}
 		}
-		e.clock += pipeline.DecodeStepLatency(e.decodePlan, e.cfg.Spec, e.decodeClu, len(e.batch), ctx)
+		step := pipeline.DecodeStepLatency(e.decodePlan, e.cfg.Spec, e.decodeClu, len(e.batch), ctx)
+		e.clock += step
+		e.decodeBusy += step
+		e.decodeTokenSeconds += step * float64(len(e.batch))
 		keep := e.batch[:0]
 		for _, r := range e.batch {
 			r.tokens = append(r.tokens, e.clock)

@@ -277,3 +277,103 @@ func TestLoopLiveMode(t *testing.T) {
 	cancel()
 	loopDone.Wait()
 }
+
+// TestMetricsReservoirBounded: the latency accumulators hold at most
+// reservoirCap samples no matter how many requests flow through, a
+// scrape is pure (two back-to-back Metrics calls agree), and the
+// sampled percentiles track the exact population within tolerance.
+func TestMetricsReservoirBounded(t *testing.T) {
+	cfg := colocatedConfig(t)
+	cfg.QueueCapacity = 1 << 20
+	e := mustEngine(t, cfg)
+	const n = 3 * reservoirCap
+	specs := Arrivals(stats.NewRNG(99), workload.Fixed(64, 200, 1), 50.0, n, 0)
+	e.SubmitAll(specs)
+	m := e.RunToCompletion()
+	if m.Completed != n {
+		t.Fatalf("completed %d of %d: %+v", m.Completed, n, m)
+	}
+	if e.waitS.Len() > reservoirCap || e.ttftS.Len() > reservoirCap {
+		t.Fatalf("reservoirs exceed capacity: wait=%d ttft=%d cap=%d",
+			e.waitS.Len(), e.ttftS.Len(), reservoirCap)
+	}
+	if e.waitS.Count() != n || e.ttftS.Count() != n {
+		t.Fatalf("counts: wait=%d ttft=%d, want %d", e.waitS.Count(), e.ttftS.Count(), n)
+	}
+	if m2 := e.Metrics(); !reflect.DeepEqual(m, m2) {
+		t.Fatalf("scrape mutated state:\n%+v\n%+v", m, m2)
+	}
+
+	// Exact populations from the per-request views.
+	waits := make([]float64, 0, n)
+	ttfts := make([]float64, 0, n)
+	for _, v := range e.List() {
+		waits = append(waits, v.QueueWait)
+		ttfts = append(ttfts, v.TTFT)
+	}
+	close := func(name string, got, want float64) {
+		t.Helper()
+		if want <= 0 {
+			t.Fatalf("%s: degenerate exact percentile %v", name, want)
+		}
+		if rel := (got - want) / want; rel < -0.10 || rel > 0.10 {
+			t.Fatalf("%s: sampled %v vs exact %v (rel %.3f)", name, got, want, rel)
+		}
+	}
+	close("wait p50", m.QueueWait.P50, stats.Percentile(waits, 50))
+	close("wait p95", m.QueueWait.P95, stats.Percentile(waits, 95))
+	close("ttft p50", m.TTFT.P50, stats.Percentile(ttfts, 50))
+	close("ttft p95", m.TTFT.P95, stats.Percentile(ttfts, 95))
+}
+
+// TestReplayPacesAdmission contrasts Replay with SubmitAll under a
+// tight admission threshold: SubmitAll charges the whole future trace
+// against QueueCapacity and sheds most of it, while Replay's
+// just-in-time pacing only lets admission control see load that has
+// actually arrived — so the same trace completes in full.
+func TestReplayPacesAdmission(t *testing.T) {
+	cfg := colocatedConfig(t)
+	cfg.QueueCapacity = 16
+	profile := workload.Fixed(8, 512, 8)
+	specs := Arrivals(stats.NewRNG(11), profile, 4.0, 200, 0)
+
+	bulk := mustEngine(t, cfg)
+	bulk.SubmitAll(specs)
+	mBulk := bulk.RunToCompletion()
+	if mBulk.Rejected == 0 {
+		t.Fatal("SubmitAll against a tight queue should shed load")
+	}
+
+	paced := mustEngine(t, cfg)
+	mPaced := paced.Replay(specs, 0)
+	if mPaced.Rejected != 0 {
+		t.Fatalf("Replay rejected %d of a sustainable trace", mPaced.Rejected)
+	}
+	if mPaced.Completed != 200 {
+		t.Fatalf("Replay completed %d of 200", mPaced.Completed)
+	}
+}
+
+// TestReplayDeterministic re-runs the same trace and expects identical
+// metrics; the busy-time accounting must also be internally consistent.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := disaggConfig(t, cluster.Eth800BW)
+	profile := workload.ShareGPT(stats.NewRNG(5), 32).Filter(cfg.Spec.MaxPos)
+	specs := Arrivals(stats.NewRNG(7), profile, 2.0, 100, 0)
+
+	m1 := mustEngine(t, cfg).Replay(specs, 0)
+	m2 := mustEngine(t, cfg).Replay(specs, 0)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("replay not deterministic:\n%+v\n%+v", m1, m2)
+	}
+	if m1.PrefillBusyFraction <= 0 || m1.PrefillBusyFraction > 1 {
+		t.Errorf("prefill busy fraction %.3f out of (0,1]", m1.PrefillBusyFraction)
+	}
+	if m1.DecodeBusyFraction <= 0 || m1.DecodeBusyFraction > 1 {
+		t.Errorf("decode busy fraction %.3f out of (0,1]", m1.DecodeBusyFraction)
+	}
+	if m1.DecodeOccupancy < m1.DecodeBusyFraction {
+		t.Errorf("occupancy %.3f below busy fraction %.3f — batches average under one request",
+			m1.DecodeOccupancy, m1.DecodeBusyFraction)
+	}
+}

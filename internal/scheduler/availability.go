@@ -178,6 +178,70 @@ func (f *FleetState) Restore(pool string, class gpu.DeviceClass, count int) (Vie
 	return f.view(pool, p), nil
 }
 
+// Expand provisions count extra devices of class into the pool — the
+// autoscaler's scale-up action. Unlike Restore (which returns reclaimed
+// devices), Expand grows the pool's intact capacity, so a later Reset
+// keeps the new devices. The grown devices are usable immediately; any
+// provisioning delay is the caller's to model before invoking Expand.
+func (f *FleetState) Expand(pool string, class gpu.DeviceClass, count int) (View, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.pools[pool]
+	if !ok {
+		return View{}, fmt.Errorf("scheduler: unknown pool %q", pool)
+	}
+	if count <= 0 {
+		return View{}, fmt.Errorf("scheduler: expand by %d devices", count)
+	}
+	base, err := p.base.Grow(class, count)
+	if err != nil {
+		return View{}, err
+	}
+	p.base = base
+	p.cap[class] += count
+	p.total += count
+	if err := p.rebuild(); err != nil {
+		return View{}, err
+	}
+	p.gen++
+	return f.view(pool, p), nil
+}
+
+// Contract decommissions count un-reclaimed devices of class from the
+// pool's intact capacity — the autoscaler's scale-down action. Devices
+// currently reclaimed by Preempt cannot be contracted away (they are
+// owed back to the pool by a Restore); the pool must also keep at least
+// one device.
+func (f *FleetState) Contract(pool string, class gpu.DeviceClass, count int) (View, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.pools[pool]
+	if !ok {
+		return View{}, fmt.Errorf("scheduler: unknown pool %q", pool)
+	}
+	if count <= 0 {
+		return View{}, fmt.Errorf("scheduler: contract by %d devices", count)
+	}
+	if avail := p.cap[class] - p.out[class]; count > avail {
+		return View{}, fmt.Errorf("scheduler: pool %s has %d un-reclaimed %s devices, cannot contract %d", pool, avail, class, count)
+	}
+	base, err := p.base.Shrink(class, count)
+	if err != nil {
+		return View{}, err
+	}
+	p.base = base
+	p.cap[class] -= count
+	if p.cap[class] == 0 {
+		delete(p.cap, class)
+	}
+	p.total -= count
+	if err := p.rebuild(); err != nil {
+		return View{}, err
+	}
+	p.gen++
+	return f.view(pool, p), nil
+}
+
 // Reset returns every reclaimed device on every pool (one generation
 // bump per pool that was degraded).
 func (f *FleetState) Reset() {

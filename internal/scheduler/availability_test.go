@@ -141,3 +141,101 @@ func TestFleetStateConcurrent(t *testing.T) {
 		t.Fatalf("devices leaked: %+v", v)
 	}
 }
+
+// TestFleetStateExpandContract: the autoscaler's scale-up/down actions
+// grow and shrink a pool's intact capacity, compose with preemption
+// (reclaimed devices cannot be contracted away), and survive Reset.
+func TestFleetStateExpandContract(t *testing.T) {
+	f := twoPoolFleet(t)
+
+	v, err := f.Expand("mixed", gpu.V100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Generation != 1 || v.Devices != 8 || v.TotalDevices != 8 || v.Degraded() {
+		t.Fatalf("expanded view = %+v", v)
+	}
+	if v.Capacity[gpu.V100] != 4 || v.Cluster.ClassCount(gpu.V100) != 4 {
+		t.Fatalf("expanded capacity = %+v cluster = %s", v.Capacity, v.Cluster)
+	}
+
+	// Expansion is intact capacity: Reset keeps it.
+	f.Reset()
+	if v, _ = f.Snapshot("mixed"); v.TotalDevices != 8 {
+		t.Fatalf("Reset dropped expansion: %+v", v)
+	}
+
+	// Preempted devices are owed back and cannot be contracted away.
+	if _, err = f.Preempt("mixed", gpu.V100, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = f.Contract("mixed", gpu.V100, 2); err == nil {
+		t.Fatal("contract should refuse reclaimed devices")
+	}
+	if _, err = f.Restore("mixed", gpu.V100, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err = f.Contract("mixed", gpu.V100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Devices != 6 || v.TotalDevices != 6 || v.Capacity[gpu.V100] != 2 {
+		t.Fatalf("contracted view = %+v", v)
+	}
+	if v.Cluster.ClassCount(gpu.V100) != 2 || v.Cluster.ClassCount(gpu.T4) != 4 {
+		t.Fatalf("contracted cluster = %s", v.Cluster)
+	}
+
+	// Expanding a class the pool never had appends a scale node.
+	v, err = f.Expand("v100s", gpu.A100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Capacity[gpu.A100] != 1 || v.Cluster.ClassCount(gpu.A100) != 1 {
+		t.Fatalf("new-class expansion = %+v cluster = %s", v.Capacity, v.Cluster)
+	}
+
+	// Validation: unknown pools, non-positive counts, emptying the pool.
+	if _, err = f.Expand("nope", gpu.T4, 1); err == nil {
+		t.Fatal("expand unknown pool")
+	}
+	if _, err = f.Contract("nope", gpu.T4, 1); err == nil {
+		t.Fatal("contract unknown pool")
+	}
+	if _, err = f.Expand("mixed", gpu.T4, 0); err == nil {
+		t.Fatal("expand zero")
+	}
+	if _, err = f.Contract("mixed", gpu.T4, 0); err == nil {
+		t.Fatal("contract zero")
+	}
+	if _, err = f.Contract("mixed", gpu.T4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = f.Contract("mixed", gpu.V100, 2); err == nil {
+		t.Fatal("contracting the last devices should fail")
+	}
+}
+
+// TestClusterGrowShrinkRoundTrip: Grow is Shrink's inverse on node
+// layout, so rebinding by device ID keeps working across a scale cycle.
+func TestClusterGrowShrinkRoundTrip(t *testing.T) {
+	c := cluster.MustPreset(7) // 4×T4 + 2×V100
+	small, err := c.Shrink(gpu.T4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := small.Grow(gpu.T4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != c.String() {
+		t.Fatalf("round trip: %s != %s", back, c)
+	}
+	if _, err := c.Grow(gpu.T4, 0); err == nil {
+		t.Fatal("grow zero")
+	}
+	if _, err := c.Grow("H999", 1); err == nil {
+		t.Fatal("grow unknown class")
+	}
+}

@@ -62,10 +62,13 @@ func (s *Server) nextJob(start int) (*job, *scheduler.Resource) {
 		}
 		if picked != nil {
 			s.busy[pool.Name] = true
+			if s.poolBusyAt != nil {
+				s.poolBusyAt[pool.Name] = time.Now()
+			}
 			picked.state = StatePlanning
 			if picked.started.IsZero() {
 				picked.started = time.Now()
-				s.waitS = append(s.waitS, picked.started.Sub(picked.submitted).Seconds())
+				s.waitS.Add(picked.started.Sub(picked.submitted).Seconds())
 			}
 			return picked, pool
 		}
@@ -94,6 +97,10 @@ func (s *Server) idlePoolFor(j *job, start int) *scheduler.Resource {
 func (s *Server) releasePool(res *scheduler.Resource) {
 	s.mu.Lock()
 	s.busy[res.Name] = false
+	if at, ok := s.poolBusyAt[res.Name]; ok {
+		s.poolBusySec[res.Name] += time.Since(at).Seconds()
+		delete(s.poolBusyAt, res.Name)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }

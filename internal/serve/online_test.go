@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/model"
@@ -180,5 +181,64 @@ func TestOfflineLatencyPercentiles(t *testing.T) {
 	}
 	if m.JobQueueWait.P99 < m.JobQueueWait.P50 {
 		t.Fatalf("inconsistent digest: %+v", m.JobQueueWait)
+	}
+}
+
+// TestMetricsCapacitySection: /v1/metrics reports per-pool utilization
+// and the capacity advisor's recommended-vs-actual device counts — the
+// offline pools from executor busy time, the streaming tier's pools
+// from the engine's busy fractions.
+func TestMetricsCapacitySection(t *testing.T) {
+	eng := onlineEngine(t)
+	cfg := testConfig("")
+	cfg.Online = eng
+	srv, c := startServer(t, cfg)
+	defer shutdown(t, srv)
+
+	// One completed offline job gives pool1 nonzero busy time; a short
+	// synchronous replay gives the engine nonzero busy fractions.
+	j, err := c.Submit(JobSpec{Model: "opt-1.3b", Batch: 8, Requests: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx, j.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]online.RequestSpec, 8)
+	for i := range specs {
+		specs[i] = online.RequestSpec{PromptLen: 128, MaxTokens: 4, ArrivalSeconds: float64(i)}
+	}
+	eng.Replay(specs, 0)
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]bool{}
+	for _, adv := range m.Capacity {
+		rows[adv.Pool] = true
+		if adv.Devices < 1 || adv.RecommendedDevices < 1 || adv.Action == "" {
+			t.Fatalf("degenerate advice row %+v", adv)
+		}
+		if adv.Utilization < 0 || adv.TargetRho <= 0 {
+			t.Fatalf("advice row missing utilization/target: %+v", adv)
+		}
+	}
+	if !rows["pool1"] || !rows["online-prefill"] {
+		t.Fatalf("capacity rows %v, want pool1 and online-prefill", rows)
+	}
+	if rows["online-decode"] {
+		t.Fatal("colocated engine grew a decode pool row")
+	}
+	var pre *capacity.PoolAdvice
+	for i := range m.Capacity {
+		if m.Capacity[i].Pool == "online-prefill" {
+			pre = &m.Capacity[i]
+		}
+	}
+	if pre.Utilization <= 0 || pre.Utilization > 1 {
+		t.Fatalf("prefill busy fraction %.3f outside (0,1]", pre.Utilization)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/scheduler"
+	"repro/internal/stats"
 )
 
 // bareServer builds a Server with no executor workers, so submitted
@@ -27,6 +28,8 @@ func bareServer(t *testing.T, cfg Config) *Server {
 		fleet: scheduler.NewFleetState(cfg.Resources),
 		jobs:  map[string]*job{},
 		busy:  map[string]bool{},
+		waitS: stats.NewReservoir(64, 1),
+		execS: stats.NewReservoir(64, 2),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())

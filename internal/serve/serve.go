@@ -24,10 +24,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/online"
 	"repro/internal/scheduler"
+	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
@@ -129,6 +131,12 @@ type Metrics struct {
 	// Online carries the streaming tier's per-request SLO metrics when
 	// Config.Online is wired (absent otherwise).
 	Online *online.Metrics `json:"online,omitempty"`
+	// Capacity reports per-pool utilization ρ (executor busy fraction of
+	// wall-clock since start for offline pools; engine busy fractions for
+	// the streaming tier's pools) against the capacity advisor's
+	// recommended device count at the default target utilization, so a
+	// scrape shows at a glance which pools are over- or under-provisioned.
+	Capacity []capacity.PoolAdvice `json:"capacity,omitempty"`
 }
 
 // Server is the control-plane instance. Create with New, optionally
@@ -153,9 +161,17 @@ type Server struct {
 	stopping bool
 	met      Metrics
 	// waitS / execS hold per-job queue-wait and execution-latency
-	// samples (seconds) for the /v1/metrics percentile digests.
-	waitS []float64
-	execS []float64
+	// samples (seconds) for the /v1/metrics percentile digests — seeded
+	// fixed-capacity reservoirs, so a long-running daemon's metrics
+	// scrape stays O(reservoir) in both memory and time.
+	waitS *stats.Reservoir
+	execS *stats.Reservoir
+	// started anchors the utilization window; poolBusySec accumulates
+	// each pool's executor-claimed seconds, with poolBusyAt marking the
+	// claim instant of currently-busy pools so an in-flight job counts.
+	started     time.Time
+	poolBusySec map[string]float64
+	poolBusyAt  map[string]time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -209,13 +225,18 @@ func New(cfg Config) (*Server, error) {
 		cfg.Workers = len(cfg.Resources)
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: NewPlanCache(cfg.CacheCapacity),
-		fleet: scheduler.NewFleetState(cfg.Resources),
-		costs: core.NewCostCache(),
-		jobs:  map[string]*job{},
-		busy:  map[string]bool{},
+		cfg:         cfg,
+		cache:       NewPlanCache(cfg.CacheCapacity),
+		fleet:       scheduler.NewFleetState(cfg.Resources),
+		costs:       core.NewCostCache(),
+		jobs:        map[string]*job{},
+		busy:        map[string]bool{},
+		started:     time.Now(),
+		poolBusySec: map[string]float64{},
+		poolBusyAt:  map[string]time.Time{},
 	}
+	s.waitS = stats.NewReservoir(4096, 0x5e41)
+	s.execS = stats.NewReservoir(4096, 0x5e42)
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.StateDir != "" {
@@ -359,7 +380,7 @@ func (s *Server) finishLocked(j *job, st State, errMsg string) {
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	if st == StateCompleted && !j.started.IsZero() {
-		s.execS = append(s.execS, j.finished.Sub(j.started).Seconds())
+		s.execS.Add(j.finished.Sub(j.started).Seconds())
 	}
 	switch st {
 	case StateCompleted:
@@ -399,11 +420,28 @@ func (s *Server) Metrics() Metrics {
 		m.TransportFailedAttempts = ts.FailedAttempts
 		m.TransportRecoveries = ts.Recoveries
 	}
-	m.JobQueueWait = online.Summarize(s.waitS)
-	m.JobExecLatency = online.Summarize(s.execS)
+	m.JobQueueWait = online.SummarizeReservoir(s.waitS)
+	m.JobExecLatency = online.SummarizeReservoir(s.execS)
 	if s.cfg.Online != nil {
 		om := s.cfg.Online.Metrics()
 		m.Online = &om
+	}
+	now := time.Now()
+	if elapsed := now.Sub(s.started).Seconds(); elapsed > 0 {
+		for _, v := range s.fleet.Views() {
+			busy := s.poolBusySec[v.Resource]
+			if at, ok := s.poolBusyAt[v.Resource]; ok {
+				busy += now.Sub(at).Seconds()
+			}
+			m.Capacity = append(m.Capacity, capacity.Advise(v.Resource, v.Devices, busy/elapsed, 0))
+		}
+	}
+	if m.Online != nil {
+		pre, dec := s.cfg.Online.PoolDevices()
+		m.Capacity = append(m.Capacity, capacity.Advise("online-prefill", pre, m.Online.PrefillBusyFraction, 0))
+		if dec > 0 {
+			m.Capacity = append(m.Capacity, capacity.Advise("online-decode", dec, m.Online.DecodeBusyFraction, 0))
+		}
 	}
 	return m
 }

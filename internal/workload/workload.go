@@ -11,7 +11,6 @@ package workload
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/stats"
 )
@@ -54,11 +53,29 @@ func (p *Profile) AvgOutput() float64 {
 	return float64(s) / float64(len(p.Requests))
 }
 
-// PromptPercentile returns the q-th percentile of prompt lengths.
+// PromptPercentile returns the q-th percentile of prompt lengths, or 0
+// for an empty profile (Filter can drop every request; the caller sees
+// a zero rather than a panic from the empty population).
 func (p *Profile) PromptPercentile(q float64) int {
+	if len(p.Requests) == 0 {
+		return 0
+	}
 	xs := make([]float64, len(p.Requests))
 	for i, r := range p.Requests {
 		xs[i] = float64(r.PromptLen)
+	}
+	return int(stats.Percentile(xs, q))
+}
+
+// OutputPercentile returns the q-th percentile of output lengths, or 0
+// for an empty profile.
+func (p *Profile) OutputPercentile(q float64) int {
+	if len(p.Requests) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(p.Requests))
+	for i, r := range p.Requests {
+		xs[i] = float64(r.OutputLen)
 	}
 	return int(stats.Percentile(xs, q))
 }
@@ -222,7 +239,11 @@ func Synthesize(p *Profile, batchSize, chunkLen, maxPos int) (Batch, error) {
 		gen = 1
 	}
 	// Reserve KV for the 95th-percentile output so long generations in a
-	// variable-output-length batch do not overflow the cache.
+	// variable-output-length batch do not overflow the cache. The
+	// population cannot be empty here: p is non-empty (checked above) and
+	// both Filter's fallback, Truncate, and Filter-with-survivors keep at
+	// least one request, so the Percentile call cannot hit the
+	// empty-slice panic PromptPercentile guards against.
 	outs := make([]float64, len(f.Requests))
 	for i, r := range f.Requests {
 		outs[i] = float64(r.OutputLen)
@@ -285,9 +306,8 @@ func LengthBuckets(p *Profile) map[string]float64 {
 	return out
 }
 
-// BucketNames returns the §II-A bucket labels in display order.
+// BucketNames returns the §II-A bucket labels in display order (the
+// ascending length-bucket order LengthBuckets keys by).
 func BucketNames() []string {
-	names := []string{"<128", "129-512", "513-1024", "1025-2048", ">2048"}
-	sort.SliceStable(names, func(i, j int) bool { return i < j }) // already ordered; keep stable
-	return names
+	return []string{"<128", "129-512", "513-1024", "1025-2048", ">2048"}
 }

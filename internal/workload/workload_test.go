@@ -174,3 +174,49 @@ func TestPromptPercentileMonotone(t *testing.T) {
 		t.Fatal("percentiles not monotone")
 	}
 }
+
+// TestPromptPercentileEmptyProfile is the regression test for the
+// empty-population panic: Filter can drop every request (e.g. a
+// long-context profile against a short-context model), and percentile
+// queries on the result must return 0 instead of panicking.
+func TestPromptPercentileEmptyProfile(t *testing.T) {
+	p := LooGLE(stats.NewRNG(11), 50) // prompts ≥ 8192
+	empty := p.Filter(1024)           // drops everything
+	if n := len(empty.Requests); n != 0 {
+		t.Fatalf("Filter kept %d requests, want 0", n)
+	}
+	if got := empty.PromptPercentile(95); got != 0 {
+		t.Fatalf("PromptPercentile on empty profile = %d, want 0", got)
+	}
+	if got := empty.OutputPercentile(95); got != 0 {
+		t.Fatalf("OutputPercentile on empty profile = %d, want 0", got)
+	}
+	if got := empty.AvgPrompt(); got != 0 {
+		t.Fatalf("AvgPrompt on empty profile = %v, want 0", got)
+	}
+}
+
+// TestBucketNamesMatchLengthBuckets locks the display order against the
+// LengthBuckets key set: every name must be a key, every key a name,
+// and the order must be ascending by bucket lower bound.
+func TestBucketNamesMatchLengthBuckets(t *testing.T) {
+	names := BucketNames()
+	want := []string{"<128", "129-512", "513-1024", "1025-2048", ">2048"}
+	if len(names) != len(want) {
+		t.Fatalf("BucketNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("BucketNames()[%d] = %q, want %q (display order must follow bucket bounds)", i, names[i], want[i])
+		}
+	}
+	b := LengthBuckets(ShareGPT(stats.NewRNG(12), 100))
+	if len(b) != len(names) {
+		t.Fatalf("LengthBuckets has %d keys, BucketNames %d", len(b), len(names))
+	}
+	for _, n := range names {
+		if _, ok := b[n]; !ok {
+			t.Fatalf("BucketNames entry %q missing from LengthBuckets keys %v", n, b)
+		}
+	}
+}
