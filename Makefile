@@ -31,19 +31,21 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Gate the committed benchmark snapshots: fails when BENCH_replan.json,
-# BENCH_online.json, or BENCH_capacity.json was generated from different
-# benchmark scenarios than the checked-out code (stale), when the
-# warm-vs-cold replan speedup has regressed more than 25% below the
-# committed ratio, or when the online tier's goodput (TTFT p50) or the
-# capacity planner's fleet cost / simulated queue-wait has drifted more
-# than 25% against the committed snapshot. Replan compares only ratios
-# and the online/capacity scenarios are deterministic virtual-clock
-# simulations, so the gates are machine-independent.
+# BENCH_online.json, BENCH_capacity.json, or BENCH_obs.json was
+# generated from different benchmark scenarios than the checked-out code
+# (stale), when the warm-vs-cold replan speedup has regressed more than
+# 25% below the committed ratio, when the online tier's goodput (TTFT
+# p50) or the capacity planner's fleet cost / simulated queue-wait has
+# drifted more than 25% against the committed snapshot, or when the
+# telemetry layer costs the warm serve path more than the absolute 5%
+# ceiling. Replan and obs compare only ratios and the online/capacity
+# scenarios are deterministic virtual-clock simulations, so the gates
+# are machine-independent.
 bench-json:
-	$(GO) run ./cmd/benchjson -check BENCH_replan.json -check-online BENCH_online.json -check-capacity BENCH_capacity.json
+	$(GO) run ./cmd/benchjson -check BENCH_replan.json -check-online BENCH_online.json -check-capacity BENCH_capacity.json -check-obs BENCH_obs.json
 
 # Regenerate the committed snapshots (run after changing the planner,
 # the replan engine, the online batching engine, the capacity planner,
-# or the tracked scenarios; commit the result).
+# the telemetry layer, or the tracked scenarios; commit the result).
 bench-json-out:
-	$(GO) run ./cmd/benchjson -out BENCH_replan.json -out-online BENCH_online.json -out-capacity BENCH_capacity.json
+	$(GO) run ./cmd/benchjson -out BENCH_replan.json -out-online BENCH_online.json -out-capacity BENCH_capacity.json -out-obs BENCH_obs.json

@@ -274,6 +274,30 @@ func BenchmarkOnlineServing(b *testing.B) {
 	b.ReportMetric(last.DeadlineHitRate*100, "slo_%")
 }
 
+// BenchmarkObsOverhead runs the tracked telemetry-overhead scenario
+// from internal/perf: the warm-cache serve throughput with and without
+// an active span tracer, alternated per round. The benchmark enforces
+// the tracked absolute ceiling — full tracing may cost the warm serve
+// path at most 5%. cmd/benchjson snapshots the same measurement into
+// BENCH_obs.json (regenerate with make bench-json-out).
+func BenchmarkObsOverhead(b *testing.B) {
+	var last *perf.ObsResult
+	for i := 0; i < b.N; i++ {
+		res, err := perf.ObsOverhead(context.Background(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Overhead > perf.ObsOverheadCeiling {
+			b.Fatalf("telemetry overhead %.1f%% above the tracked %.0f%% ceiling (base %.1f, traced %.1f jobs/sec)",
+				res.Overhead*100, perf.ObsOverheadCeiling*100, res.BaseJobsPerSec, res.TracedJobsPerSec)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Overhead*100, "overhead_%")
+	b.ReportMetric(last.TracedJobsPerSec, "traced_jobs/s")
+	b.ReportMetric(float64(last.Spans), "spans")
+}
+
 func BenchmarkSimulatePipeline(b *testing.B) {
 	sys, err := splitquant.New("opt-30b", splitquant.Preset(5),
 		splitquant.WithMethod("heuristic"), splitquant.WithTheta(1))

@@ -12,6 +12,8 @@
 //	benchjson -check-online BENCH_online.json      # CI gate: staleness + regression
 //	benchjson -out-capacity BENCH_capacity.json    # regenerate the capacity snapshot
 //	benchjson -check-capacity BENCH_capacity.json  # CI gate: staleness + regression
+//	benchjson -out-obs BENCH_obs.json              # regenerate the telemetry-overhead snapshot
+//	benchjson -check-obs BENCH_obs.json            # CI gate: staleness + overhead ceiling
 //
 // Flags combine, so `make bench-json` gates all files in one run. A
 // check fails when the committed snapshot was generated from different
@@ -20,7 +22,10 @@
 // regression past tolerance: the warm-vs-cold replan speedup falling
 // more than 25% below the committed ratio, or the online tier's goodput
 // falling (TTFT p50 rising) more than 25% against the committed values.
-// Replan gates compare only ratios and online gates only virtual-clock
+// The obs gate is absolute rather than relative: the telemetry layer's
+// measured overhead on the warm serve path must stay under
+// perf.ObsOverheadCeiling (5%) no matter what was committed. Replan
+// gates compare only ratios and online gates only virtual-clock
 // simulation results, so snapshots and checks may run on different
 // machines.
 package main
@@ -62,6 +67,12 @@ type capacitySnapshot struct {
 	Capacity *perf.CapacityResult `json:"capacity_planning"`
 }
 
+// obsSnapshot is the BENCH_obs.json document.
+type obsSnapshot struct {
+	Config string          `json:"config"`
+	Obs    *perf.ObsResult `json:"obs_overhead"`
+}
+
 func main() {
 	out := flag.String("out", "", "write a fresh replan/parallel/serve snapshot to this file")
 	check := flag.String("check", "", "verify a committed replan snapshot: fail on staleness or replan-latency regression")
@@ -69,10 +80,12 @@ func main() {
 	checkOnline := flag.String("check-online", "", "verify a committed online snapshot: fail on staleness or goodput/TTFT regression")
 	outCapacity := flag.String("out-capacity", "", "write a fresh capacity-planning snapshot to this file")
 	checkCapacity := flag.String("check-capacity", "", "verify a committed capacity snapshot: fail on staleness, cost/accuracy regression, or SLO miss")
+	outObs := flag.String("out-obs", "", "write a fresh telemetry-overhead snapshot to this file")
+	checkObs := flag.String("check-obs", "", "verify a committed obs snapshot: fail on staleness or overhead above the ceiling")
 	jobs := flag.Int("jobs", 20, "jobs per serve-throughput arm (with -out)")
 	flag.Parse()
-	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" && *outCapacity == "" && *checkCapacity == "" {
-		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online, -out-capacity, -check-capacity is required"))
+	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" && *outCapacity == "" && *checkCapacity == "" && *outObs == "" && *checkObs == "" {
+		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online, -out-capacity, -check-capacity, -out-obs, -check-obs is required"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -93,6 +106,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *outObs != "" {
+		if err := writeObs(ctx, *outObs); err != nil {
+			fatal(err)
+		}
+	}
 	if *check != "" {
 		if err := verify(ctx, *check); err != nil {
 			fatal(err)
@@ -105,6 +123,11 @@ func main() {
 	}
 	if *checkCapacity != "" {
 		if err := verifyCapacity(ctx, *checkCapacity); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkObs != "" {
+		if err := verifyObs(ctx, *checkObs); err != nil {
 			fatal(err)
 		}
 	}
@@ -172,6 +195,25 @@ func writeCapacity(ctx context.Context, path string) error {
 	fmt.Printf("capacity: fleet %s at %.2f/h (%d tried, %d pruned), wait p95 %.3fs analytic / %.3fs simulated (%.0f%% apart)\n",
 		res.Fleet, res.CostPerHour, res.CandidatesTried, res.CandidatesPruned,
 		res.AnaQueueWaitP95, res.SimQueueWaitP95, res.WaitAgreement*100)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeObs runs the telemetry-overhead scenario and writes the
+// snapshot. The measurement itself fails when tracing is off the hot
+// path, so a committed snapshot doubles as proof the spans exist.
+func writeObs(ctx context.Context, path string) error {
+	fmt.Fprintln(os.Stderr, "benchjson: measuring telemetry overhead (traced vs untraced warm serve)...")
+	res, err := perf.ObsOverhead(ctx, 0)
+	if err != nil {
+		return err
+	}
+	snap := obsSnapshot{Config: perf.ObsConfigFingerprint(), Obs: res}
+	if err := writeJSON(path, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("obs:      %.1f base / %.1f traced jobs/sec, %d spans, %.1f%% overhead (ceiling %.0f%%)\n",
+		res.BaseJobsPerSec, res.TracedJobsPerSec, res.Spans, res.Overhead*100, perf.ObsOverheadCeiling*100)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }
@@ -286,6 +328,41 @@ func verifyCapacity(ctx context.Context, path string) error {
 	fmt.Printf("capacity fleet %s at %.2f/h (committed %.2f/h), sim wait p95 %.3fs (committed %.3fs), agreement %.0f%%: ok\n",
 		cur.Fleet, cur.CostPerHour, snap.Capacity.CostPerHour,
 		cur.SimQueueWaitP95, snap.Capacity.SimQueueWaitP95, cur.WaitAgreement*100)
+	return nil
+}
+
+// verifyObs re-measures the telemetry overhead and gates it against the
+// absolute ceiling: tracing may cost the warm serve path at most
+// perf.ObsOverheadCeiling regardless of what the committed snapshot
+// measured. The committed value documents the expectation; the live
+// measurement enforces it.
+func verifyObs(ctx context.Context, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want := perf.ObsConfigFingerprint(); snap.Config != want {
+		return fmt.Errorf("%s is stale: snapshot config %s, code measures %s — regenerate with `make bench-json-out`",
+			path, snap.Config, want)
+	}
+	if snap.Obs == nil || snap.Obs.TracedJobsPerSec <= 0 {
+		return fmt.Errorf("%s: no committed overhead measurement to gate against", path)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: re-measuring telemetry overhead...")
+	cur, err := perf.ObsOverhead(ctx, 0)
+	if err != nil {
+		return err
+	}
+	if cur.Overhead > perf.ObsOverheadCeiling {
+		return fmt.Errorf("telemetry overhead regressed: traced warm serve runs %.1f%% slower than untraced, above the %.0f%% ceiling (committed %.1f%%)",
+			cur.Overhead*100, perf.ObsOverheadCeiling*100, snap.Obs.Overhead*100)
+	}
+	fmt.Printf("obs overhead %.1f%% (committed %.1f%%, ceiling %.0f%%): ok\n",
+		cur.Overhead*100, snap.Obs.Overhead*100, perf.ObsOverheadCeiling*100)
 	return nil
 }
 

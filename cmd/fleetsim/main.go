@@ -39,6 +39,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
@@ -52,6 +53,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "preemption schedule seed")
 	capMode := flag.Bool("capacity", false, "closed-loop capacity planning: size a fleet for a diurnal day, replay it, autoscale under preemptions")
 	capPeak := flag.Float64("cap-peak", 2.0, "peak arrival rate of the diurnal profile, req/s (with -capacity)")
+	tracePath := flag.String("trace", "", "write the -capacity day replay as Chrome trace-event JSON (virtual clock)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -62,7 +64,7 @@ func main() {
 		fatal(err)
 	}
 	if *capMode {
-		if err := capacityLoop(ctx, trace, *faultSeed, *capPeak); err != nil {
+		if err := capacityLoop(ctx, trace, *faultSeed, *capPeak, *tracePath); err != nil {
 			fatal(err)
 		}
 		return
@@ -225,7 +227,7 @@ func diurnalRate(hour int, peak float64) float64 {
 // predictions with the simulated percentiles per segment and for the
 // day, then drive the autoscaler against a seeded preemption schedule
 // on the same fleet.
-func capacityLoop(ctx context.Context, trace *fleet.Trace, faultSeed uint64, peak float64) error {
+func capacityLoop(ctx context.Context, trace *fleet.Trace, faultSeed uint64, peak float64, tracePath string) error {
 	spec, err := model.Lookup("opt-13b")
 	if err != nil {
 		return err
@@ -269,11 +271,28 @@ func capacityLoop(ctx context.Context, trace *fleet.Trace, faultSeed uint64, pea
 		}
 		specs = append(specs, online.RequestSpec{PromptLen: req.PromptLen, MaxTokens: maxTok, ArrivalSeconds: t})
 	}
-	eng, err := online.New(rec.Config)
+	engCfg := rec.Config
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		// The engine stamps every span with explicit virtual timestamps,
+		// so the tracer's clock is only a fallback; raise the buffer cap —
+		// a full day of decode steps is far more than the default.
+		tracer = obs.NewVirtualTracer(func() float64 { return 0 })
+		tracer.SetLimit(1 << 21)
+		engCfg.Tracer = tracer
+	}
+	eng, err := online.New(engCfg)
 	if err != nil {
 		return err
 	}
 	m := eng.Replay(specs, 0)
+	if tracer != nil {
+		if err := tracer.ExportChromeTrace(tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s (%d events, %d dropped) — load it at ui.perfetto.dev\n\n",
+			tracePath, len(tracer.Events()), tracer.Dropped())
+	}
 
 	// Per-segment: analytic station at the segment's rate vs the
 	// simulated waits of requests that arrived in the segment.
@@ -319,6 +338,24 @@ func capacityLoop(ctx context.Context, trace *fleet.Trace, faultSeed uint64, pea
 	fmt.Printf("  queue-wait p95 agreement: %.0f%% apart\n", agree*100)
 	if m.TTFT.P95 > slo.TTFTP95 || m.QueueWait.P95 > slo.QueueWaitP95 {
 		fmt.Printf("  WARNING: simulated day busts the SLO the fleet was sized for\n")
+	}
+
+	// Drift detector verdict: the same analytic-vs-observed comparison a
+	// live daemon runs on every scrape, here fed the whole day at once.
+	// Note the station solves at the day's *mean* rate while the diurnal
+	// profile swings around it, so moderate drift is expected shape error,
+	// not a broken model.
+	det := capacity.NewDriftDetector(rec.Config, "online-prefill", 0, 0)
+	rep := det.Observe(eng.List(), m)
+	fmt.Printf("\ndrift detector (day mean rate %.2f req/s, %d observations): verdict %s\n",
+		rep.Rate, rep.Observations, rep.Verdict)
+	if rep.Verdict != "insufficient-data" && rep.Verdict != "saturated" {
+		fmt.Printf("  wait p95 %.3fs predicted / %.3fs observed (%+.0f%%)\n",
+			rep.PredictedWaitP95, rep.ObservedWaitP95, rep.WaitP95Error*100)
+		fmt.Printf("  ttft p95 %.3fs predicted / %.3fs observed (%+.0f%%)\n",
+			rep.PredictedTTFTP95, rep.ObservedTTFTP95, rep.TTFTP95Error*100)
+		fmt.Printf("  prefill busy %.3f predicted / %.3f observed (%+.0f%%)\n",
+			rep.PredictedBusyFraction, rep.ObservedBusyFraction, rep.BusyFractionError*100)
 	}
 
 	// Autoscaler vs preemptions: replay the day's utilization signal on

@@ -5,6 +5,7 @@
 //	servectl list
 //	servectl cancel job-000001
 //	servectl metrics
+//	servectl metrics -watch 2s
 //	servectl fleet
 //	servectl preempt -pool pool5 -class T4-16G -count 2
 //	servectl restore -pool pool5 -class T4-16G -count 2
@@ -66,10 +67,7 @@ func main() {
 	case "list":
 		err = runList(c)
 	case "metrics":
-		var m serve.Metrics
-		if m, err = c.Metrics(); err == nil {
-			err = printJSON(m)
-		}
+		err = runMetrics(c, args[1:])
 	case "fleet":
 		err = runFleet(c)
 	case "preempt":
@@ -112,7 +110,7 @@ commands:
   status  <job-id>
   cancel  <job-id>
   list
-  metrics
+  metrics [-watch INTERVAL]   (watch polls and prints counter deltas; -json streams snapshots)
   fleet
   preempt -pool P -class C -count N   (reclaim devices, as the online tier would)
   restore -pool P -class C -count N   (return reclaimed devices)
@@ -194,6 +192,62 @@ func runList(c *serve.Client) error {
 				j.ID, j.State, j.Spec.Model, j.Resource, j.BatchesDone, j.BatchesTotal, j.Replans, j.Throughput, j.Plan)
 		}
 	})
+}
+
+// runMetrics prints one metrics snapshot, or — with -watch — polls the
+// daemon on an interval. Watch mode shares the formatting paths: -json
+// emits the full Metrics document per poll (an NDJSON-of-snapshots
+// stream), the human view prints per-interval deltas of the lifetime
+// counters next to the instantaneous queue state.
+func runMetrics(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	watch := fs.Duration("watch", 0, "poll interval (e.g. 2s); 0 prints one snapshot and exits")
+	fs.Parse(args)
+	m, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	if *watch <= 0 {
+		return printJSON(m)
+	}
+	if jsonOut {
+		if err := printJSON(m); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("%-8s %6s %6s %6s %6s %6s %8s %9s %9s\n",
+			"time", "+sub", "+done", "+fail", "+rej", "queue", "running", "+plan(s)", "+sim(s)")
+		printMetricsRow(m, m)
+	}
+	prev := m
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	for range ticker.C {
+		cur, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			if err := printJSON(cur); err != nil {
+				return err
+			}
+		} else {
+			printMetricsRow(cur, prev)
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// printMetricsRow renders one watch interval: deltas of the monotonic
+// counters since prev, instantaneous gauges as-is.
+func printMetricsRow(cur, prev serve.Metrics) {
+	fmt.Printf("%-8s %6d %6d %6d %6d %6d %8d %9.2f %9.2f\n",
+		time.Now().Format("15:04:05"),
+		cur.Submitted-prev.Submitted, cur.Completed-prev.Completed,
+		cur.Failed-prev.Failed, cur.Rejected-prev.Rejected,
+		cur.QueueDepth, cur.Running,
+		cur.PlanSeconds-prev.PlanSeconds, cur.SimSeconds-prev.SimSeconds)
 }
 
 func runFleet(c *serve.Client) error {

@@ -36,11 +36,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/capacity"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/gpu"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/quant"
 	"repro/internal/scheduler"
@@ -69,6 +71,10 @@ func main() {
 		onlinePre   = flag.Int("online-preset", 2, "cluster preset (Table III) the online tier plans on")
 		onlineBatch = flag.Int("online-batch", 32, "online decode batch cap")
 		onlineGbps  = flag.Float64("online-handoff-gbps", 800, "prefill→decode fabric bandwidth in Gbps (0 = replay-only handoff)")
+
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) on shutdown")
+		eventsPath = flag.String("events", "", "stream trace events to an NDJSON file as they happen")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof/ handlers and export Go runtime metrics")
 	)
 	flag.Parse()
 
@@ -76,11 +82,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var eng *online.Engine
-	if *onlineMode {
-		if eng, err = buildOnline(*onlineModel, *onlinePre, *onlineBatch, *onlineGbps); err != nil {
+	tracer := obs.NewTracer()
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		if eventsFile, err = os.Create(*eventsPath); err != nil {
 			fatal(err)
 		}
+		defer eventsFile.Close()
+		tracer.SetSink(eventsFile)
+	}
+	var eng *online.Engine
+	var drift *capacity.DriftDetector
+	if *onlineMode {
+		var ocfg online.Config
+		if eng, ocfg, err = buildOnline(*onlineModel, *onlinePre, *onlineBatch, *onlineGbps, tracer); err != nil {
+			fatal(err)
+		}
+		drift = capacity.NewDriftDetector(ocfg, "online-prefill", 0, 0)
 	}
 	srv, err := serve.New(serve.Config{
 		Resources:     resources,
@@ -90,6 +108,9 @@ func main() {
 		QueueCapacity: *queueN,
 		Planner:       core.Options{Method: core.Method(*method), Theta: *theta},
 		Online:        eng,
+		Tracer:        tracer,
+		Drift:         drift,
+		Pprof:         *pprofOn,
 	})
 	if err != nil {
 		fatal(err)
@@ -143,6 +164,13 @@ func main() {
 		fmt.Printf("served: online tier — %d completed, %d expired, %d canceled, %d handoffs, goodput %.1f tok/s\n",
 			om.Completed, om.Expired, om.Canceled, om.Handoffs, om.GoodputTPS)
 	}
+	if *tracePath != "" {
+		if err := tracer.ExportChromeTrace(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("served: wrote Chrome trace to %s (%d events, %d dropped) — load it at ui.perfetto.dev\n",
+			*tracePath, len(tracer.Events()), tracer.Dropped())
+	}
 }
 
 // buildOnline plans the streaming tier: a disaggregated prefill/decode
@@ -150,14 +178,16 @@ func main() {
 // single colocated plan (stop-and-go batching). The online tier plans
 // its own dedicated cluster rather than borrowing an offline pool — in
 // the paper's setting the interactive and batch fleets are disjoint.
-func buildOnline(modelName string, preset, maxBatch int, gbps float64) (*online.Engine, error) {
+// The resolved Config is returned alongside the engine so the drift
+// detector can solve the same analytic station the engine runs.
+func buildOnline(modelName string, preset, maxBatch int, gbps float64, tr *obs.Tracer) (*online.Engine, online.Config, error) {
 	spec, err := model.Lookup(modelName)
 	if err != nil {
-		return nil, err
+		return nil, online.Config{}, err
 	}
 	clu, err := cluster.Preset(preset)
 	if err != nil {
-		return nil, err
+		return nil, online.Config{}, err
 	}
 	bits := []int{3, 4, 8, 16}
 	ind := core.ProfileIndicator(spec, bits, quant.Deterministic)
@@ -171,27 +201,30 @@ func buildOnline(modelName string, preset, maxBatch int, gbps float64) (*online.
 		MaxBatch:  maxBatch,
 		ChunkLen:  256,
 		HandoffBW: cluster.BandwidthFromGbps(gbps),
+		Tracer:    tr,
 	}
 	dp, err := core.PlanDisaggregated(ctx, spec, clu, ind, opts, batch, core.DisaggOptions{})
 	if err == nil {
 		cfg.PrefillPlan, cfg.PrefillCluster = dp.Prefill, dp.PrefillCluster
 		cfg.DecodePlan, cfg.DecodeCluster = dp.Decode, dp.DecodeCluster
-		return online.New(cfg)
+		eng, err := online.New(cfg)
+		return eng, cfg, err
 	}
 	if !errors.Is(err, core.ErrInfeasible) {
-		return nil, err
+		return nil, online.Config{}, err
 	}
 	// No feasible phase split (e.g. a single-device preset): colocate.
 	a, err := core.New(spec, clu, ind, opts)
 	if err != nil {
-		return nil, err
+		return nil, online.Config{}, err
 	}
 	p, _, err := a.Plan(ctx, batch)
 	if err != nil {
-		return nil, err
+		return nil, online.Config{}, err
 	}
 	cfg.PrefillPlan, cfg.PrefillCluster = p, clu
-	return online.New(cfg)
+	eng, err := online.New(cfg)
+	return eng, cfg, err
 }
 
 // runFaults replays a seeded preemption schedule against the live fleet

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label values, histograms as cumulative le-buckets plus
+// _sum/_count. Gather hooks run first, so sampled gauges are fresh.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.gatherers...)
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	bw := bufio.NewWriter(w)
+	fams, series := r.snapshot()
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(f.fn()))
+			continue
+		}
+		for _, m := range series[i] {
+			switch f.kind {
+			case KindHistogram:
+				writeHistogram(bw, f, m)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(f.labelNames, m.labelValues), formatValue(m.value()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets in
+// ascending le order, the implicit +Inf bucket, then _sum and _count.
+func writeHistogram(w io.Writer, f *family, m *metric) {
+	names := make([]string, 0, len(f.labelNames)+1)
+	names = append(names, f.labelNames...)
+	names = append(names, "le")
+	values := make([]string, len(m.labelValues), len(m.labelValues)+1)
+	copy(values, m.labelValues)
+	var cum uint64
+	for i, ub := range f.buckets {
+		cum += m.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(names, append(values, formatValue(ub))), cum)
+	}
+	count := m.count.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(names, append(values, "+Inf")), count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(f.labelNames, m.labelValues),
+		formatValue(math.Float64frombits(m.sumBits.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(f.labelNames, m.labelValues), count)
+}
+
+// renderLabels renders {name="value",...} ("" when unlabeled).
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry at GET <mount>, typically /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/name, rewriting it under
+// -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("%s mismatch (re-run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestPrometheusGolden pins the full exposition format — HELP/TYPE
+// lines, family and series sort order, label rendering, histogram
+// buckets, function-backed families, and gather hooks — against a
+// golden file.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	jobs := r.CounterVec("serve_jobs_finished_total", "Jobs by terminal state.", "state")
+	jobs.With("completed").Add(12)
+	jobs.With("failed").Add(1)
+	r.Counter("serve_jobs_submitted_total", "Jobs accepted at admission.").Add(14)
+	r.Gauge("serve_queue_depth", "Queued jobs.").Set(1)
+	h := r.HistogramVec("serve_batch_seconds", "Per-batch execution latency.", []float64{0.01, 0.1, 1}, "pool")
+	h.With("pool-a").Observe(0.005)
+	h.With("pool-a").Observe(0.05)
+	h.With("pool-a").Observe(5)
+	r.CounterFunc("transport_reconnects_total", "Successful redials.", func() float64 { return 3 })
+	sampled := r.Gauge("online_kv_in_use_bytes", "Decode-pool KV bytes held.")
+	r.OnGather(func() { sampled.Set(4096) })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "exposition.golden", []byte(sb.String()))
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("g", "with \\ and\nnewline", "k")
+	v.With("quote\" back\\slash\nnewline").Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`# HELP g with \\ and\nnewline`,
+		`g{k="quote\" back\\slash\nnewline"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", DefBuckets)
+	// A deterministic spread across the whole ladder.
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i*i%977) / 3.0)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	last := int64(-1)
+	n := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, "h_seconds_bucket") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", f[1], err)
+		}
+		if v < last {
+			t.Fatalf("cumulative buckets decreased: %q after %d", line, last)
+		}
+		last = v
+		n++
+	}
+	if n != len(DefBuckets)+1 {
+		t.Fatalf("got %d bucket lines, want %d", n, len(DefBuckets)+1)
+	}
+	if last != 1000 {
+		t.Fatalf("+Inf bucket = %d, want 1000", last)
+	}
+}

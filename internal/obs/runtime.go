@@ -1,0 +1,27 @@
+package obs
+
+import "runtime"
+
+// InstrumentRuntime registers Go runtime health gauges on reg, sampled
+// at scrape time: goroutine count, heap in use and reserved, cumulative
+// GC pause seconds, and GC cycle count. The serve daemon mounts these
+// behind its -pprof flag, pairing the metrics with the profiling
+// endpoints they contextualize.
+func InstrumentRuntime(reg *Registry) {
+	goroutines := reg.Gauge("go_goroutines", "Number of live goroutines.")
+	heapAlloc := reg.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := reg.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	gcPause := reg.Counter("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	gcCycles := reg.Counter("go_gc_cycles_total", "Completed GC cycles.")
+	nextGC := reg.Gauge("go_gc_next_bytes", "Heap size that triggers the next GC cycle.")
+	reg.OnGather(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcCycles.Set(float64(ms.NumGC))
+		nextGC.Set(float64(ms.NextGC))
+	})
+}

@@ -1,0 +1,117 @@
+package online
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEngineTraceSpans replays a deterministic burst through a
+// virtual-clock tracer and checks that the emitted spans reconstruct
+// exactly the per-request timings the engine reports: queue wait,
+// prefill start, first-token time, and decode duration.
+func TestEngineTraceSpans(t *testing.T) {
+	cfg := colocatedConfig(t)
+	cfg.Tracer = obs.NewVirtualTracer(func() float64 { return 0 })
+	eng := mustEngine(t, cfg)
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := eng.Submit(RequestSpec{
+			PromptLen: 128, MaxTokens: 4, ArrivalSeconds: float64(i) * 0.01,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunToCompletion()
+
+	type key struct{ track, name string }
+	spans := map[key]obs.Event{}
+	var decodeSteps, prefillGroups int
+	for _, ev := range cfg.Tracer.Events() {
+		switch {
+		case ev.Phase != "X":
+		case ev.Track == "decode" && ev.Name == "step":
+			decodeSteps++
+		case ev.Track == "prefill" && strings.HasPrefix(ev.Name, "group"):
+			prefillGroups++
+		default:
+			spans[key{ev.Track, ev.Name}] = ev
+		}
+	}
+	if decodeSteps == 0 || prefillGroups == 0 {
+		t.Fatalf("pool tracks missing: %d decode steps, %d prefill groups", decodeSteps, prefillGroups)
+	}
+
+	const eps = 1e-9
+	for _, v := range eng.List() {
+		if v.State != StateCompleted {
+			t.Fatalf("request %s: %+v", v.ID, v)
+		}
+		track := "req:" + v.ID
+		qw, ok := spans[key{track, "queue-wait"}]
+		if !ok {
+			t.Fatalf("no queue-wait span for %s", v.ID)
+		}
+		if math.Abs(qw.Start-v.ArrivalSeconds) > eps || math.Abs(qw.Dur-v.QueueWait) > eps {
+			t.Fatalf("queue-wait span %+v vs view %+v", qw, v)
+		}
+		pf, ok := spans[key{track, "prefill"}]
+		if !ok {
+			t.Fatalf("no prefill span for %s", v.ID)
+		}
+		if math.Abs(pf.Start-(v.ArrivalSeconds+v.QueueWait)) > eps {
+			t.Fatalf("prefill span of %s starts at %.9f, queue drains at %.9f",
+				v.ID, pf.Start, v.ArrivalSeconds+v.QueueWait)
+		}
+		dec, ok := spans[key{track, "decode"}]
+		if !ok {
+			t.Fatalf("no decode span for %s", v.ID)
+		}
+		first := v.ArrivalSeconds + v.TTFT
+		if math.Abs(dec.Start-first) > eps {
+			t.Fatalf("decode span of %s starts at %.9f, first token at %.9f", v.ID, dec.Start, first)
+		}
+		if math.Abs(dec.Dur-(v.Finish-first)) > eps {
+			t.Fatalf("decode span of %s lasts %.9f, view says %.9f", v.ID, dec.Dur, v.Finish-first)
+		}
+	}
+}
+
+// TestEngineInstrument scrapes the engine's registry families and
+// cross-checks them against the Metrics snapshot they mirror.
+func TestEngineInstrument(t *testing.T) {
+	eng := mustEngine(t, colocatedConfig(t))
+	reg := obs.NewRegistry()
+	eng.Instrument(reg)
+
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Submit(RequestSpec{
+			PromptLen: 128, MaxTokens: 4, ArrivalSeconds: float64(i) * 0.05,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := eng.RunToCompletion()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"online_submitted_total 8",
+		"online_completed_total 8",
+		`online_ttft_seconds{q="p95"}`,
+		`online_queue_wait_seconds{q="mean"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q (metrics %+v):\n%s", want, m, text)
+		}
+	}
+	if m.Completed != 8 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -85,6 +86,14 @@ type Config struct {
 	// to cost raw KV transfers. 0 disables transfers: every handoff is
 	// a token-log replay.
 	HandoffBW float64
+	// Tracer, when set, receives per-request spans on the engine's
+	// virtual clock: queue wait, prefill (per request and per group), KV
+	// handoff, decode steps, and one decode span per completion. The
+	// engine passes explicit timestamps, so the tracer's own clock
+	// function is never consulted here; wire it with
+	// obs.NewVirtualTracer(engine.Clock) so wall-clock events recorded
+	// elsewhere land on the same timeline.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -172,6 +181,7 @@ type request struct {
 // concurrent use; Step advances the virtual clock by one event.
 type Engine struct {
 	cfg Config
+	tr  *obs.Tracer // nil disables span emission entirely
 
 	mu         sync.Mutex
 	clock      float64
@@ -225,6 +235,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:          c,
+		tr:           c.Tracer,
 		byID:         map[string]*request{},
 		watch:        make(chan struct{}),
 		decodePlan:   c.DecodePlan,
@@ -404,6 +415,14 @@ func (e *Engine) viewLocked(r *request) RequestView {
 func (e *Engine) finishLocked(r *request, st State, t float64) {
 	r.state = st
 	r.finish = t
+	if e.tr != nil {
+		if st == StateCompleted && len(r.tokens) > 1 {
+			e.tr.Span("req:"+r.spec.ID, "decode", r.tokens[0], t-r.tokens[0],
+				map[string]any{"tokens": len(r.tokens)})
+		} else if st != StateCompleted {
+			e.tr.Instant("req:"+r.spec.ID, string(st), t, nil)
+		}
+	}
 	switch st {
 	case StateCompleted:
 		e.completed++
@@ -544,6 +563,9 @@ func (e *Engine) Step() bool {
 				r.state = StateHandoff
 				r.readyAt = e.prefillEnd + delay
 				e.inHandoff = append(e.inHandoff, r)
+				if e.tr != nil {
+					e.tr.Span("req:"+r.spec.ID, "handoff", e.prefillEnd, delay, map[string]any{"mode": mode})
+				}
 			default:
 				r.state = StateHandoff
 				r.readyAt = e.prefillEnd
@@ -592,10 +614,18 @@ func (e *Engine) Step() bool {
 					r.state = StatePrefilling
 					r.started = e.clock
 					e.waitS.Add(e.clock - r.arrival)
+					if e.tr != nil {
+						e.tr.Span("req:"+r.spec.ID, "queue-wait", r.arrival, e.clock-r.arrival, nil)
+						e.tr.Span("req:"+r.spec.ID, "prefill", e.clock, sec, nil)
+					}
 				}
 				e.prefilling = group
 				e.prefillEnd = e.clock + sec
 				e.prefillBusy += sec
+				if e.tr != nil {
+					e.tr.Span("prefill", fmt.Sprintf("group n=%d", len(group)), e.clock, sec,
+						map[string]any{"requests": len(group), "chunks": maxChunks})
+				}
 			}
 		}
 	}
@@ -664,6 +694,9 @@ func (e *Engine) Step() bool {
 			}
 		}
 		step := pipeline.DecodeStepLatency(e.decodePlan, e.cfg.Spec, e.decodeClu, len(e.batch), ctx)
+		if e.tr != nil {
+			e.tr.Span("decode", "step", e.clock, step, map[string]any{"batch": len(e.batch), "ctx": ctx})
+		}
 		e.clock += step
 		e.decodeBusy += step
 		e.decodeTokenSeconds += step * float64(len(e.batch))

@@ -54,6 +54,7 @@ type FleetState struct {
 	pools       map[string]*poolState
 	order       []string
 	preemptions uint64
+	restores    uint64
 }
 
 // NewFleetState builds the availability view with every pool intact.
@@ -175,6 +176,7 @@ func (f *FleetState) Restore(pool string, class gpu.DeviceClass, count int) (Vie
 		return View{}, err
 	}
 	p.gen++
+	f.restores++
 	return f.view(pool, p), nil
 }
 
@@ -302,4 +304,11 @@ func (f *FleetState) Preemptions() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.preemptions
+}
+
+// Restores is the lifetime count of Restore events applied.
+func (f *FleetState) Restores() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.restores
 }

@@ -1,0 +1,32 @@
+package scheduler
+
+import "repro/internal/obs"
+
+// Instrument registers the fleet-availability families on reg. Counters
+// mirror the mutex-guarded lifetime counts from a gather hook (the
+// fleet's own state stays the source of truth); per-pool gauges sample
+// the current views, so a scrape shows exactly the topology executors
+// plan against.
+func (f *FleetState) Instrument(reg *obs.Registry) {
+	preempts := reg.Counter("fleet_preemptions_total", "Device preemption events applied to the fleet.")
+	restores := reg.Counter("fleet_restores_total", "Device restore events applied to the fleet.")
+	devices := reg.GaugeVec("fleet_pool_devices", "Currently usable devices per pool.", "pool")
+	total := reg.GaugeVec("fleet_pool_devices_total", "Intact device capacity per pool.", "pool")
+	gen := reg.GaugeVec("fleet_pool_generation", "Pool availability generation (bumps on preempt/restore).", "pool")
+	reg.OnGather(func() {
+		f.mu.Lock()
+		preempts.Set(float64(f.preemptions))
+		restores.Set(float64(f.restores))
+		views := make([]View, 0, len(f.order))
+		for _, name := range f.order {
+			views = append(views, f.view(name, f.pools[name]))
+		}
+		f.mu.Unlock()
+		for i := range views {
+			v := &views[i]
+			devices.With(v.Resource).Set(float64(v.Devices))
+			total.With(v.Resource).Set(float64(v.TotalDevices))
+			gen.With(v.Resource).Set(float64(v.Generation))
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// TestFleetInstrument checks the fleet gauges track preemption and
+// restoration through the registry, including the generation bump that
+// invalidates running jobs.
+func TestFleetInstrument(t *testing.T) {
+	fs := NewFleetState([]Resource{
+		{Name: "pool", Cluster: cluster.MustPreset(9), Availability: 1},
+	})
+	reg := obs.NewRegistry()
+	fs.Instrument(reg)
+
+	if _, err := fs.Preempt("pool", gpu.V100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Restore("pool", gpu.V100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Preemptions() != 1 || fs.Restores() != 1 {
+		t.Fatalf("counters: %d preemptions, %d restores", fs.Preemptions(), fs.Restores())
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"fleet_preemptions_total 1",
+		"fleet_restores_total 1",
+		`fleet_pool_devices{pool="pool"} 4`,
+		`fleet_pool_generation{pool="pool"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -68,7 +68,11 @@ func (s *Server) nextJob(start int) (*job, *scheduler.Resource) {
 			picked.state = StatePlanning
 			if picked.started.IsZero() {
 				picked.started = time.Now()
-				s.waitS.Add(picked.started.Sub(picked.submitted).Seconds())
+				wait := picked.started.Sub(picked.submitted).Seconds()
+				s.waitS.Add(wait)
+				s.tel.queueWaitHist.Observe(wait)
+				tr := s.tel.tr
+				tr.Span(pool.Name, "queue-wait", tr.Now()-wait, wait, map[string]any{"job": picked.id})
 			}
 			return picked, pool
 		}
@@ -183,7 +187,18 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 		}
 
 		key := cacheKey(j.mspec.Name, snap.Cluster.Fingerprint(), snap.Generation, j.batch, opts)
+		planBegin := s.tel.tr.Now()
 		p, hit, planSec, err := s.planFor(ctx, j, snap.Cluster, key, opts, last)
+		if err == nil {
+			cacheState := "cold"
+			if hit {
+				cacheState = "hit"
+			} else if last != nil {
+				cacheState = "warm"
+			}
+			s.tel.tr.Span(res.Name, "plan", planBegin, s.tel.tr.Now()-planBegin,
+				map[string]any{"job": j.id, "cache": cacheState})
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
 				s.cancelFinished(j)
@@ -206,6 +221,14 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 			return
 		}
 
+		s.tel.planSeconds.Add(planSec)
+		if !hit {
+			s.tel.planHist.Observe(planSec)
+		}
+		if attempt > 0 {
+			s.tel.replans.Inc()
+			s.tel.tr.Instant(res.Name, "replan", s.tel.tr.Now(), map[string]any{"job": j.id, "attempt": attempt})
+		}
 		s.mu.Lock()
 		j.state = StateRunning
 		j.cacheHit = hit // last planning round's cache outcome
@@ -213,10 +236,8 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 		j.planSeconds += planSec
 		j.batchesTotal = total
 		j.throughput = sim.Throughput
-		s.met.PlanSeconds += planSec
 		if attempt > 0 {
 			j.replans++
-			s.met.Replans++
 		}
 		start := j.batchesDone // checkpoint: resume, never redo, batches
 		s.mu.Unlock()
@@ -231,11 +252,15 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 				s.cancelFinished(j)
 				return
 			}
+			batchBegin := s.tel.tr.Now()
 			s.mu.Lock()
 			j.batchesDone = b + 1
 			j.simSeconds += perBatch
-			s.met.SimSeconds += perBatch
 			s.mu.Unlock()
+			s.tel.simSeconds.Add(perBatch)
+			s.tel.batchHist.With(res.Name).Observe(perBatch)
+			s.tel.tr.Span(res.Name, fmt.Sprintf("batch %d/%d", b+1, total), batchBegin, s.tel.tr.Now()-batchBegin,
+				map[string]any{"job": j.id, "sim_seconds": perBatch})
 			if s.cfg.BatchHook != nil {
 				s.cfg.BatchHook(j.id, b+1, total)
 			}
@@ -249,6 +274,7 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 					j.preemptions++
 				}
 				s.mu.Unlock()
+				s.tel.tr.Instant(res.Name, "preempted", s.tel.tr.Now(), map[string]any{"job": j.id})
 				preempted = true
 				break
 			}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/gpu"
 	"repro/internal/online"
@@ -27,6 +28,10 @@ type apiError struct {
 //	POST   /v1/fleet/preempt  reclaim devices (fleetRequest body) → PoolView
 //	POST   /v1/fleet/restore  return devices (fleetRequest body) → PoolView
 //	GET    /v1/healthz        liveness → {"status": "ok"}
+//	GET    /metrics           Prometheus text exposition of the registry
+//
+// With Config.Pprof set, Go's net/http/pprof handlers mount under
+// /debug/pprof/ and the registry exports Go runtime metrics.
 //
 // With Config.Online wired, the streaming request tier mounts too:
 //
@@ -57,6 +62,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.Handle("GET /metrics", s.cfg.Obs.Handler())
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

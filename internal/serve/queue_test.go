@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
 )
@@ -33,6 +34,8 @@ func bareServer(t *testing.T, cfg Config) *Server {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.cfg.Obs = obs.NewRegistry()
+	s.instrument(s.cfg.Obs)
 	t.Cleanup(s.baseCancel)
 	return s
 }

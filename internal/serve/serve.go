@@ -27,6 +27,7 @@ import (
 	"repro/internal/capacity"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/scheduler"
 	"repro/internal/stats"
@@ -90,6 +91,22 @@ type Config struct {
 	// SLO metrics into /v1/metrics. The caller owns the engine's event
 	// loop (typically online.Engine.Loop in a goroutine).
 	Online *online.Engine
+	// Obs is the metrics registry every subsystem reports through; the
+	// daemon exposes it in Prometheus text format at /metrics. Nil gets
+	// a private registry, so instrumentation is always live.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records per-job spans (queue wait, plan,
+	// each executor batch, preemption/replan events) for Chrome-trace /
+	// NDJSON export. Nil disables tracing at the cost of one branch.
+	Tracer *obs.Tracer
+	// Drift, when non-nil (and Online is wired), compares the capacity
+	// model's predicted wait/TTFT percentiles against the engine's
+	// observations on every metrics scrape and surfaces the error in
+	// /v1/metrics and the capacity_drift_* gauge family.
+	Drift *capacity.DriftDetector
+	// Pprof mounts net/http/pprof under /debug/pprof/ and registers Go
+	// runtime gauges (goroutines, GC pause, heap) on the registry.
+	Pprof bool
 }
 
 // Metrics is the server counter snapshot served at /v1/metrics.
@@ -123,6 +140,7 @@ type Metrics struct {
 	TransportReplayedTokens uint64 `json:"transport_replayed_tokens"`
 	TransportFailedAttempts uint64 `json:"transport_failed_attempts"`
 	TransportRecoveries     uint64 `json:"transport_recoveries"`
+	TransportHeartbeats     uint64 `json:"transport_heartbeats"`
 	// JobQueueWait and JobExecLatency digest offline job latencies:
 	// submission → execution start, and execution start → terminal
 	// state (completed jobs only for exec latency).
@@ -137,6 +155,9 @@ type Metrics struct {
 	// recommended device count at the default target utilization, so a
 	// scrape shows at a glance which pools are over- or under-provisioned.
 	Capacity []capacity.PoolAdvice `json:"capacity,omitempty"`
+	// Drift reports the live analytic-vs-observed comparison when
+	// Config.Drift is wired alongside the online tier.
+	Drift *capacity.DriftReport `json:"drift,omitempty"`
 }
 
 // Server is the control-plane instance. Create with New, optionally
@@ -150,6 +171,10 @@ type Server struct {
 	// and shape, so plans are unaffected (only planning time is).
 	costs *core.CostCache
 
+	// tel holds the registry-backed counters (the source of truth both
+	// /v1/metrics and /metrics read) and the optional tracer.
+	tel *telemetry
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    jobQueue
@@ -159,7 +184,6 @@ type Server struct {
 	seq      int
 	draining bool
 	stopping bool
-	met      Metrics
 	// waitS / execS hold per-job queue-wait and execution-latency
 	// samples (seconds) for the /v1/metrics percentile digests — seeded
 	// fixed-capacity reservoirs, so a long-running daemon's metrics
@@ -239,6 +263,22 @@ func New(cfg Config) (*Server, error) {
 	s.execS = stats.NewReservoir(4096, 0x5e42)
 	s.cond = sync.NewCond(&s.mu)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+		s.cfg.Obs = reg
+	}
+	s.instrument(reg)
+	s.fleet.Instrument(reg)
+	if cfg.Online != nil {
+		cfg.Online.Instrument(reg)
+	}
+	if cfg.Drift != nil {
+		cfg.Drift.Instrument(reg)
+	}
+	if cfg.Pprof {
+		obs.InstrumentRuntime(reg)
+	}
 	if cfg.StateDir != "" {
 		if err := s.cache.Load(s.cachePath()); err != nil {
 			return nil, err
@@ -257,9 +297,7 @@ func (s *Server) cachePath() string { return filepath.Join(s.cfg.StateDir, cache
 // every rejection path — spec validation, admission, drain, queue
 // pressure — must flow through it so Metrics.Rejected is complete.
 func (s *Server) reject(err error) (JobView, error) {
-	s.mu.Lock()
-	s.met.Rejected++
-	s.mu.Unlock()
+	s.tel.rejected.Inc()
 	return JobView{}, err
 }
 
@@ -294,11 +332,11 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.stopping {
-		s.met.Rejected++
+		s.tel.rejected.Inc()
 		return JobView{}, ErrDraining
 	}
 	if len(s.queue) >= s.cfg.QueueCapacity {
-		s.met.Rejected++
+		s.tel.rejected.Inc()
 		return JobView{}, ErrQueueFull
 	}
 	s.seq++
@@ -318,7 +356,8 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	heap.Push(&s.queue, j)
-	s.met.Submitted++
+	s.tel.submitted.Inc()
+	s.tel.tr.Instant("serve", "submit", s.tel.tr.Now(), map[string]any{"job": j.id, "model": spec.Model})
 	// Broadcast, not Signal: a signaled worker whose every idle pool has
 	// already proven infeasible for the queued jobs would re-Wait without
 	// passing the wakeup on, stranding a runnable job while other workers
@@ -380,67 +419,102 @@ func (s *Server) finishLocked(j *job, st State, errMsg string) {
 	j.errMsg = errMsg
 	j.finished = time.Now()
 	if st == StateCompleted && !j.started.IsZero() {
-		s.execS.Add(j.finished.Sub(j.started).Seconds())
+		lat := j.finished.Sub(j.started).Seconds()
+		s.execS.Add(lat)
+		s.tel.execHist.Observe(lat)
 	}
 	switch st {
 	case StateCompleted:
-		s.met.Completed++
+		s.tel.completed.Inc()
 	case StateFailed:
-		s.met.Failed++
+		s.tel.failed.Inc()
 	case StateCanceled:
-		s.met.Canceled++
+		s.tel.canceled.Inc()
 	}
+	s.tel.tr.Instant("serve", "job-"+string(st), s.tel.tr.Now(), map[string]any{"job": j.id})
 }
 
-// Metrics snapshots the server counters.
+// transportStats polls the configured transport-recovery callback,
+// returning zeros when no transport driver is wired. Never called under
+// s.mu — callbacks may block on driver internals.
+func (s *Server) transportStats() transport.RecoveryStats {
+	if s.cfg.TransportStats == nil {
+		return transport.RecoveryStats{}
+	}
+	return s.cfg.TransportStats()
+}
+
+// Metrics snapshots the server counters. It is a *view* over the
+// metrics registry plus the instantaneous queue/fleet state: the
+// lifetime counters live in registry atomics (read lock-free), only
+// the queue walk and the busy-time snapshot take the server mutex, and
+// external pollers — the TransportStats callback, the online engine,
+// the drift detector — run strictly outside it, so a slow stats
+// callback can never stall the submit path.
 func (s *Server) Metrics() Metrics {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	m := s.met
-	m.Draining = s.draining || s.stopping
+	t := s.tel
+	m := Metrics{
+		Submitted:   int(t.submitted.Value()),
+		Rejected:    int(t.rejected.Value()),
+		Completed:   int(t.completed.Value()),
+		Failed:      int(t.failed.Value()),
+		Canceled:    int(t.canceled.Value()),
+		PlanSeconds: t.planSeconds.Value(),
+		SimSeconds:  t.simSeconds.Value(),
+		Replans:     int(t.replans.Value()),
+		Preemptions: s.fleet.Preemptions(),
+	}
 	m.CacheHits, m.CacheMisses = s.cache.Stats()
 	m.CacheEntries = s.cache.Len()
-	m.Preemptions = s.fleet.Preemptions()
-	m.QueueDepth = 0
+
+	s.mu.Lock()
+	m.Draining = s.draining || s.stopping
 	for _, j := range s.queue {
 		if j.state == StateQueued {
 			m.QueueDepth++
 		}
 	}
-	m.Running = 0
 	for _, j := range s.jobs {
 		if j.state == StatePlanning || j.state == StateRunning {
 			m.Running++
 		}
 	}
+	m.JobQueueWait = online.SummarizeReservoir(s.waitS)
+	m.JobExecLatency = online.SummarizeReservoir(s.execS)
+	now := time.Now()
+	started := s.started
+	busy := make(map[string]float64, len(s.poolBusySec))
+	for name, sec := range s.poolBusySec {
+		busy[name] = sec
+	}
+	for name, at := range s.poolBusyAt {
+		busy[name] += now.Sub(at).Seconds()
+	}
+	s.mu.Unlock()
+
 	if s.cfg.TransportStats != nil {
 		ts := s.cfg.TransportStats()
 		m.TransportReconnects = ts.Reconnects
 		m.TransportReplayedTokens = ts.ReplayedTokens
 		m.TransportFailedAttempts = ts.FailedAttempts
 		m.TransportRecoveries = ts.Recoveries
+		m.TransportHeartbeats = ts.Heartbeats
 	}
-	m.JobQueueWait = online.SummarizeReservoir(s.waitS)
-	m.JobExecLatency = online.SummarizeReservoir(s.execS)
+	if elapsed := now.Sub(started).Seconds(); elapsed > 0 {
+		for _, v := range s.fleet.Views() {
+			m.Capacity = append(m.Capacity, capacity.Advise(v.Resource, v.Devices, busy[v.Resource]/elapsed, 0))
+		}
+	}
 	if s.cfg.Online != nil {
 		om := s.cfg.Online.Metrics()
 		m.Online = &om
-	}
-	now := time.Now()
-	if elapsed := now.Sub(s.started).Seconds(); elapsed > 0 {
-		for _, v := range s.fleet.Views() {
-			busy := s.poolBusySec[v.Resource]
-			if at, ok := s.poolBusyAt[v.Resource]; ok {
-				busy += now.Sub(at).Seconds()
-			}
-			m.Capacity = append(m.Capacity, capacity.Advise(v.Resource, v.Devices, busy/elapsed, 0))
-		}
-	}
-	if m.Online != nil {
 		pre, dec := s.cfg.Online.PoolDevices()
-		m.Capacity = append(m.Capacity, capacity.Advise("online-prefill", pre, m.Online.PrefillBusyFraction, 0))
+		m.Capacity = append(m.Capacity, capacity.Advise("online-prefill", pre, om.PrefillBusyFraction, 0))
 		if dec > 0 {
-			m.Capacity = append(m.Capacity, capacity.Advise("online-decode", dec, m.Online.DecodeBusyFraction, 0))
+			m.Capacity = append(m.Capacity, capacity.Advise("online-decode", dec, om.DecodeBusyFraction, 0))
+		}
+		if s.cfg.Drift != nil {
+			m.Drift = s.cfg.Drift.Observe(s.cfg.Online.List(), om)
 		}
 	}
 	return m

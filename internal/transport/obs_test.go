@@ -1,0 +1,36 @@
+package transport
+
+import "testing"
+
+// TestHeartbeatCounter: each Ping round over the driver's stage
+// connections increments the heartbeat counter exposed to the metrics
+// registry.
+func TestHeartbeatCounter(t *testing.T) {
+	s, err := NewStageServer(cfg, seed, nil, 0, cfg.Layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	d, err := NewDriver(cfg, seed, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if hb := d.RecoveryStats().Heartbeats; hb != 0 {
+		t.Fatalf("heartbeats before any ping = %d", hb)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := d.Ping(); err != nil {
+			t.Fatal(err)
+		}
+		if hb := d.RecoveryStats().Heartbeats; hb != uint64(i) {
+			t.Fatalf("after %d pings: heartbeats = %d", i, hb)
+		}
+	}
+}

@@ -72,6 +72,9 @@ type RecoveryStats struct {
 	FailedAttempts uint64 `json:"failed_attempts"`
 	// Recoveries is the number of session-replay recoveries performed.
 	Recoveries uint64 `json:"recoveries"`
+	// Heartbeats is the number of heartbeat probe rounds completed
+	// (each round pings every stage once).
+	Heartbeats uint64 `json:"heartbeats"`
 }
 
 // Driver is the master engine: it owns the embeddings and LM head and
@@ -93,6 +96,7 @@ type Driver struct {
 
 	replayedTotal atomic.Uint64
 	recoveries    atomic.Uint64
+	heartbeats    atomic.Uint64
 
 	genMu    sync.Mutex // serializes stream use: Generate, Ping, Close
 	healthMu sync.Mutex // guards poisoned/lastErr on every link
@@ -304,6 +308,7 @@ func (d *Driver) pingLocked() error {
 			l.conn.SetDeadline(time.Time{})
 		}
 	}
+	d.heartbeats.Add(1)
 	return firstErr
 }
 
@@ -373,6 +378,7 @@ func (d *Driver) RecoveryStats() RecoveryStats {
 	}
 	rs.ReplayedTokens = d.replayedTotal.Load()
 	rs.Recoveries = d.recoveries.Load()
+	rs.Heartbeats = d.heartbeats.Load()
 	return rs
 }
 
