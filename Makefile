@@ -19,10 +19,14 @@ vet:
 # an explicit second pass: its chaos fault-matrix suite (skipped under
 # -short) must hold up under the race detector even when the full-suite
 # invocation is later narrowed, and -count=2 shakes out order-dependent
-# state in the reconnect/replay paths.
+# state in the reconnect/replay paths. The maintenance package gets the
+# same treatment: its orchestrator runs per-domain goroutines against a
+# shared fleet state and its migration e2e replays token logs through a
+# chaos proxy.
 test-race:
 	$(GO) test -race -timeout 45m ./...
 	$(GO) test -race -timeout 15m -count=2 ./internal/transport/
+	$(GO) test -race -timeout 15m -count=2 ./internal/maintenance/
 
 # Full gate: static checks plus the race-enabled suite.
 check: vet test-race
@@ -36,16 +40,19 @@ bench:
 # (stale), when the warm-vs-cold replan speedup has regressed more than
 # 25% below the committed ratio, when the online tier's goodput (TTFT
 # p50) or the capacity planner's fleet cost / simulated queue-wait has
-# drifted more than 25% against the committed snapshot, or when the
+# drifted more than 25% against the committed snapshot, when the
 # telemetry layer costs the warm serve path more than the absolute 5%
-# ceiling. Replan and obs compare only ratios and the online/capacity
-# scenarios are deterministic virtual-clock simulations, so the gates
-# are machine-independent.
+# ceiling, or when the rolling-maintenance scenario migrates more than
+# 25% fewer sessions than committed (the scenario itself fails unless
+# the roll is clean and every migration is bit-identical). Replan and
+# obs compare only ratios and the online/capacity scenarios are
+# deterministic virtual-clock simulations, so the gates are
+# machine-independent.
 bench-json:
-	$(GO) run ./cmd/benchjson -check BENCH_replan.json -check-online BENCH_online.json -check-capacity BENCH_capacity.json -check-obs BENCH_obs.json
+	$(GO) run ./cmd/benchjson -check BENCH_replan.json -check-online BENCH_online.json -check-capacity BENCH_capacity.json -check-obs BENCH_obs.json -check-maintenance BENCH_maintenance.json
 
 # Regenerate the committed snapshots (run after changing the planner,
 # the replan engine, the online batching engine, the capacity planner,
 # the telemetry layer, or the tracked scenarios; commit the result).
 bench-json-out:
-	$(GO) run ./cmd/benchjson -out BENCH_replan.json -out-online BENCH_online.json -out-capacity BENCH_capacity.json -out-obs BENCH_obs.json
+	$(GO) run ./cmd/benchjson -out BENCH_replan.json -out-online BENCH_online.json -out-capacity BENCH_capacity.json -out-obs BENCH_obs.json -out-maintenance BENCH_maintenance.json

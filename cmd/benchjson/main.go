@@ -3,8 +3,10 @@
 // parallel speedup, serve throughput), BENCH_online.json (the online
 // tier's SLO quantities under a fixed seeded closed-loop scenario), and
 // BENCH_capacity.json (the capacity planner's recommended fleet, cost,
-// and analytic-vs-simulated agreement). The measurement logic lives in
-// internal/perf.
+// and analytic-vs-simulated agreement). BENCH_obs.json tracks the
+// telemetry layer's overhead and BENCH_maintenance.json the rolling
+// fleet-maintenance scenario (makespan, migrated sessions). The
+// measurement logic lives in internal/perf.
 //
 //	benchjson -out BENCH_replan.json               # regenerate the replan snapshot
 //	benchjson -check BENCH_replan.json             # CI gate: staleness + regression
@@ -14,6 +16,8 @@
 //	benchjson -check-capacity BENCH_capacity.json  # CI gate: staleness + regression
 //	benchjson -out-obs BENCH_obs.json              # regenerate the telemetry-overhead snapshot
 //	benchjson -check-obs BENCH_obs.json            # CI gate: staleness + overhead ceiling
+//	benchjson -out-maintenance BENCH_maintenance.json    # regenerate the rolling-maintenance snapshot
+//	benchjson -check-maintenance BENCH_maintenance.json  # CI gate: staleness + migration regression
 //
 // Flags combine, so `make bench-json` gates all files in one run. A
 // check fails when the committed snapshot was generated from different
@@ -24,10 +28,14 @@
 // falling (TTFT p50 rising) more than 25% against the committed values.
 // The obs gate is absolute rather than relative: the telemetry layer's
 // measured overhead on the warm serve path must stay under
-// perf.ObsOverheadCeiling (5%) no matter what was committed. Replan
-// gates compare only ratios and online gates only virtual-clock
-// simulation results, so snapshots and checks may run on different
-// machines.
+// perf.ObsOverheadCeiling (5%) no matter what was committed. The
+// maintenance gate re-runs the seeded rolling-maintenance scenario
+// (which itself fails unless the roll ends clean and every migrated
+// session is bit-identical to the reference) and fails when the
+// migrated-session count falls more than 25% below the committed value;
+// the makespan is machine-dependent and reported only. Replan gates
+// compare only ratios and online gates only virtual-clock simulation
+// results, so snapshots and checks may run on different machines.
 package main
 
 import (
@@ -73,6 +81,12 @@ type obsSnapshot struct {
 	Obs    *perf.ObsResult `json:"obs_overhead"`
 }
 
+// maintenanceSnapshot is the BENCH_maintenance.json document.
+type maintenanceSnapshot struct {
+	Config      string                  `json:"config"`
+	Maintenance *perf.MaintenanceResult `json:"rolling_maintenance"`
+}
+
 func main() {
 	out := flag.String("out", "", "write a fresh replan/parallel/serve snapshot to this file")
 	check := flag.String("check", "", "verify a committed replan snapshot: fail on staleness or replan-latency regression")
@@ -82,10 +96,12 @@ func main() {
 	checkCapacity := flag.String("check-capacity", "", "verify a committed capacity snapshot: fail on staleness, cost/accuracy regression, or SLO miss")
 	outObs := flag.String("out-obs", "", "write a fresh telemetry-overhead snapshot to this file")
 	checkObs := flag.String("check-obs", "", "verify a committed obs snapshot: fail on staleness or overhead above the ceiling")
+	outMaint := flag.String("out-maintenance", "", "write a fresh rolling-maintenance snapshot to this file")
+	checkMaint := flag.String("check-maintenance", "", "verify a committed maintenance snapshot: fail on staleness, a dirty roll, or migration regression")
 	jobs := flag.Int("jobs", 20, "jobs per serve-throughput arm (with -out)")
 	flag.Parse()
-	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" && *outCapacity == "" && *checkCapacity == "" && *outObs == "" && *checkObs == "" {
-		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online, -out-capacity, -check-capacity, -out-obs, -check-obs is required"))
+	if *out == "" && *check == "" && *outOnline == "" && *checkOnline == "" && *outCapacity == "" && *checkCapacity == "" && *outObs == "" && *checkObs == "" && *outMaint == "" && *checkMaint == "" {
+		fatal(fmt.Errorf("at least one of -out, -check, -out-online, -check-online, -out-capacity, -check-capacity, -out-obs, -check-obs, -out-maintenance, -check-maintenance is required"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -111,6 +127,11 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *outMaint != "" {
+		if err := writeMaintenance(ctx, *outMaint); err != nil {
+			fatal(err)
+		}
+	}
 	if *check != "" {
 		if err := verify(ctx, *check); err != nil {
 			fatal(err)
@@ -128,6 +149,11 @@ func main() {
 	}
 	if *checkObs != "" {
 		if err := verifyObs(ctx, *checkObs); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkMaint != "" {
+		if err := verifyMaintenance(ctx, *checkMaint); err != nil {
 			fatal(err)
 		}
 	}
@@ -363,6 +389,63 @@ func verifyObs(ctx context.Context, path string) error {
 	}
 	fmt.Printf("obs overhead %.1f%% (committed %.1f%%, ceiling %.0f%%): ok\n",
 		cur.Overhead*100, snap.Obs.Overhead*100, perf.ObsOverheadCeiling*100)
+	return nil
+}
+
+// writeMaintenance runs the seeded rolling-maintenance scenario and
+// writes the snapshot. The measurement itself fails unless the roll
+// ends clean (zero rollbacks, fleet re-admitted) and every migrated
+// session is bit-identical to an uninterrupted reference run, so a
+// committed snapshot doubles as proof of the zero-downtime path.
+func writeMaintenance(ctx context.Context, path string) error {
+	fmt.Fprintln(os.Stderr, "benchjson: running seeded rolling-maintenance scenario (drain + migrate under chaos)...")
+	res, err := perf.RollingMaintenance(ctx)
+	if err != nil {
+		return err
+	}
+	snap := maintenanceSnapshot{Config: perf.MaintenanceConfigFingerprint(), Maintenance: res}
+	if err := writeJSON(path, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("maint:    rolled %d devices in %d domains in %.2fs, %d sessions migrated bit-identical, %d rollbacks, %d chaos recoveries\n",
+		res.DrainedDevices, res.Domains, res.MakespanSeconds, res.MigratedSessions, res.Rollbacks, res.Recoveries)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// verifyMaintenance re-runs the rolling-maintenance scenario and gates
+// the migrated-session count against the committed snapshot. The
+// scenario's correctness checks (clean roll, bit-identical migrations)
+// fail inside perf.RollingMaintenance itself; the makespan is
+// machine-dependent wall clock and is reported, never gated.
+func verifyMaintenance(ctx context.Context, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap maintenanceSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if want := perf.MaintenanceConfigFingerprint(); snap.Config != want {
+		return fmt.Errorf("%s is stale: snapshot config %s, code measures %s — regenerate with `make bench-json-out`",
+			path, snap.Config, want)
+	}
+	if snap.Maintenance == nil || snap.Maintenance.MigratedSessions <= 0 {
+		return fmt.Errorf("%s: no committed migrated-session count to gate against", path)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: re-running seeded rolling-maintenance scenario...")
+	cur, err := perf.RollingMaintenance(ctx)
+	if err != nil {
+		return err
+	}
+	floor := float64(snap.Maintenance.MigratedSessions) * (1 - regressionTolerance)
+	if float64(cur.MigratedSessions) < floor {
+		return fmt.Errorf("maintenance migration regressed: %d sessions migrated is more than %.0f%% below the committed %d (floor %.1f)",
+			cur.MigratedSessions, regressionTolerance*100, snap.Maintenance.MigratedSessions, floor)
+	}
+	fmt.Printf("maintenance migrated %d sessions (committed %d) across %d domains in %.2fs, %d rollbacks: ok\n",
+		cur.MigratedSessions, snap.Maintenance.MigratedSessions, cur.Domains, cur.MakespanSeconds, cur.Rollbacks)
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	fleetsim -months 6     # longer trace window
 //	fleetsim -faults       # preemption stress: re-plan on worst-case shrink
 //	fleetsim -capacity     # closed loop: plan a fleet, replay a diurnal day, autoscale
+//	fleetsim -maintenance  # zero-downtime roll: maintain every device during the day replay
 //
 // With -faults, fleetsim derives a seeded preemption schedule from the
 // same trace (the online tier reclaiming devices over the baseline
@@ -52,7 +53,8 @@ func main() {
 	faults := flag.Bool("faults", false, "derive a preemption schedule and re-plan on the worst-case degraded fleet")
 	faultSeed := flag.Uint64("fault-seed", 1, "preemption schedule seed")
 	capMode := flag.Bool("capacity", false, "closed-loop capacity planning: size a fleet for a diurnal day, replay it, autoscale under preemptions")
-	capPeak := flag.Float64("cap-peak", 2.0, "peak arrival rate of the diurnal profile, req/s (with -capacity)")
+	capPeak := flag.Float64("cap-peak", 2.0, "peak arrival rate of the diurnal profile, req/s (with -capacity or -maintenance)")
+	maintMode := flag.Bool("maintenance", false, "zero-downtime roll: rolling-maintain every device of a planned fleet during the diurnal day replay")
 	tracePath := flag.String("trace", "", "write the -capacity day replay as Chrome trace-event JSON (virtual clock)")
 	flag.Parse()
 
@@ -65,6 +67,12 @@ func main() {
 	}
 	if *capMode {
 		if err := capacityLoop(ctx, trace, *faultSeed, *capPeak, *tracePath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *maintMode {
+		if err := maintenanceLoop(ctx, *capPeak); err != nil {
 			fatal(err)
 		}
 		return
@@ -378,6 +386,10 @@ func capacityLoop(ctx context.Context, trace *fleet.Trace, faultSeed uint64, pea
 		ProvisionDelay: 120,
 		Cooldown:       180,
 		MinDevices:     rec.Fleet.Devices(),
+		// The day's drift verdict feeds back: a recalibrate/saturated
+		// report makes the scaler re-advise on the observed busy
+		// fraction before its first decision, cooldown waived.
+		Drift: det,
 	})
 	if err != nil {
 		return err

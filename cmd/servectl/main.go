@@ -10,6 +10,9 @@
 //	servectl preempt -pool pool5 -class T4-16G -count 2
 //	servectl restore -pool pool5 -class T4-16G -count 2
 //	servectl drain
+//	servectl maintenance start -target pool5/T4-16G/2/rack-a -target pool5/T4-16G/2/rack-b
+//	servectl maintenance status
+//	servectl maintenance abort
 //	servectl request submit -prompt 512 -tokens 64 -deadline 30
 //	servectl request status r1
 //	servectl request stream r1
@@ -29,8 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/maintenance"
 	"repro/internal/online"
 	"repro/internal/serve"
 )
@@ -81,6 +87,8 @@ func main() {
 				fmt.Printf("draining (queue depth %d, running %d)\n", m.QueueDepth, m.Running)
 			})
 		}
+	case "maintenance":
+		err = runMaintenance(c, args[1:])
 	case "request":
 		err = runRequest(c, args[1:])
 	default:
@@ -115,6 +123,10 @@ commands:
   preempt -pool P -class C -count N   (reclaim devices, as the online tier would)
   restore -pool P -class C -count N   (return reclaimed devices)
   drain
+  maintenance start -target POOL/CLASS/COUNT[/DOMAIN] [-target ...]
+              [-concurrency N] [-rho R] [-step-timeout S] [-attempts N]
+  maintenance status
+  maintenance abort
   request submit -prompt L -tokens N [-deadline S] [-priority P] [-id ID] [-stream]
   request status <request-id>
   request cancel <request-id>
@@ -280,6 +292,104 @@ func runFleetMutation(c *serve.Client, name string, args []string, call func(poo
 		printPoolHeader()
 		printPool(p)
 	})
+}
+
+// targetsFlag is a repeatable -target POOL/CLASS/COUNT[/DOMAIN] flag.
+type targetsFlag []maintenance.Target
+
+func (f *targetsFlag) String() string { return fmt.Sprintf("%d targets", len(*f)) }
+
+func (f *targetsFlag) Set(s string) error {
+	fields := strings.Split(s, "/")
+	if len(fields) < 3 || len(fields) > 4 {
+		return fmt.Errorf("bad target %q (want POOL/CLASS/COUNT[/DOMAIN])", s)
+	}
+	count, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return fmt.Errorf("bad count in target %q: %w", s, err)
+	}
+	t := maintenance.Target{Pool: fields[0], Class: fields[1], Count: count}
+	if len(fields) == 4 {
+		t.Domain = fields[3]
+	}
+	*f = append(*f, t)
+	return nil
+}
+
+// runMaintenance dispatches the rolling-maintenance subcommands.
+func runMaintenance(c *serve.Client, args []string) error {
+	if len(args) == 0 {
+		return usageError{"maintenance: missing subcommand (start | status | abort)"}
+	}
+	switch args[0] {
+	case "start":
+		return runMaintenanceStart(c, args[1:])
+	case "status":
+		st, err := c.Maintenance()
+		if err != nil {
+			return err
+		}
+		return emit(st, func() { printMaintenance(st) })
+	case "abort":
+		st, err := c.AbortMaintenance()
+		if err != nil {
+			return err
+		}
+		return emit(st, func() { printMaintenance(st) })
+	default:
+		return usageError{fmt.Sprintf("maintenance: unknown subcommand %q", args[0])}
+	}
+}
+
+func runMaintenanceStart(c *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("maintenance start", flag.ExitOnError)
+	var targets targetsFlag
+	fs.Var(&targets, "target", "drain target POOL/CLASS/COUNT[/DOMAIN] (repeatable)")
+	var (
+		concurrency = fs.Int("concurrency", 1, "failure domains rolled at once")
+		rho         = fs.Float64("rho", 0, "target utilization ρ for the feasibility gate (0 = default)")
+		stepTimeout = fs.Float64("step-timeout", 0, "per-step timeout in seconds (0 = default)")
+		attempts    = fs.Int("attempts", 0, "retry budget per step (0 = default)")
+	)
+	fs.Parse(args)
+	if len(targets) == 0 {
+		return usageError{"maintenance start: at least one -target is required"}
+	}
+	st, err := c.StartMaintenance(maintenance.Request{
+		Targets:            targets,
+		Concurrency:        *concurrency,
+		TargetRho:          *rho,
+		StepTimeoutSeconds: *stepTimeout,
+		MaxAttempts:        *attempts,
+	})
+	if err != nil {
+		return err
+	}
+	return emit(st, func() { printMaintenance(st) })
+}
+
+func printMaintenance(st maintenance.Status) {
+	fmt.Printf("%s: %s — drained %d, migrated %d sessions, %d rollbacks\n",
+		st.ID, st.State, st.Drained, st.Migrated, st.Rollback)
+	if st.Error != "" {
+		fmt.Printf("  error: %s\n", st.Error)
+	}
+	for _, d := range st.Domains {
+		fmt.Printf("  domain %-12s %-12s", d.Domain, d.State)
+		for _, s := range d.Steps {
+			mark := "·"
+			switch s.State {
+			case maintenance.StateDone:
+				mark = "✓"
+			case maintenance.StateRunning:
+				mark = "▶"
+			case maintenance.StateFailed:
+				mark = "✗"
+			}
+			fmt.Printf(" %s %s", mark, s.Kind)
+		}
+		fmt.Println()
+	}
 }
 
 // runRequest dispatches the streaming-tier subcommands.

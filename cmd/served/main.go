@@ -61,6 +61,7 @@ func main() {
 		theta   = flag.Float64("theta", 1, "default quality scalar θ")
 		cacheN  = flag.Int("cache", 256, "plan cache capacity (plans)")
 		queueN  = flag.Int("queue", 1024, "job queue capacity")
+		drainTO = flag.Duration("drain-timeout", 0, "max graceful-drain wait on shutdown; past it in-flight jobs are checkpointed and requeued (0 = wait forever)")
 
 		faults       = flag.Bool("faults", false, "inject seeded preemption faults (online tier reclaiming devices)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "preemption schedule seed")
@@ -107,6 +108,7 @@ func main() {
 		CacheCapacity: *cacheN,
 		QueueCapacity: *queueN,
 		Planner:       core.Options{Method: core.Method(*method), Theta: *theta},
+		DrainTimeout:  *drainTO,
 		Online:        eng,
 		Tracer:        tracer,
 		Drift:         drift,

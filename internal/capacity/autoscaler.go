@@ -34,6 +34,14 @@ type AutoscalerConfig struct {
 	// and no cap).
 	MinDevices int
 	MaxDevices int
+	// Drift, when set, wires the drift detector's verdict into the
+	// scaling loop: a "recalibrate" or "saturated" report means the
+	// analytic model under-predicts the real load, so before the next
+	// decision the scaler re-runs Advise on the report's *observed* busy
+	// fraction, raises the desired size to the re-advice, and lets the
+	// resulting scale-up bypass the cooldown. Each report triggers at
+	// most once.
+	Drift *DriftDetector
 }
 
 func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
@@ -81,6 +89,9 @@ type Autoscaler struct {
 	pending []pendingScale
 	lastAct float64
 	events  []ScaleEvent
+	// seenDrift is the last drift report acted on (identity-compared so
+	// a persistent verdict does not re-trigger every observation).
+	seenDrift *DriftReport
 }
 
 type pendingScale struct {
@@ -154,7 +165,31 @@ func (a *Autoscaler) Observe(now, utilization float64) ([]ScaleEvent, error) {
 	}
 	onOrder := view.TotalDevices + a.Inflight()
 
-	if now-a.lastAct < a.cfg.Cooldown {
+	// Drift-triggered recalibration: a recalibrate/saturated verdict
+	// says the analytic model no longer matches the workload, so the
+	// utilization-derived desired size cannot be trusted as an upper
+	// bound. Re-advise on the report's observed busy fraction, take the
+	// larger size, and waive the cooldown for the correction.
+	driftDetail := ""
+	if a.cfg.Drift != nil {
+		if rep := a.cfg.Drift.LastReport(); rep != nil && rep != a.seenDrift &&
+			(rep.Verdict == "recalibrate" || rep.Verdict == "saturated") {
+			a.seenDrift = rep
+			adv := Advise(a.cfg.Pool, usable, rep.ObservedBusyFraction, a.cfg.TargetRho)
+			if n := adv.RecommendedDevices; n > desired {
+				if a.cfg.MaxDevices > 0 && n > a.cfg.MaxDevices {
+					n = a.cfg.MaxDevices
+				}
+				if n > desired {
+					desired = n
+					driftDetail = fmt.Sprintf("; drift verdict %s: re-advised to %d on observed busy %.2f",
+						rep.Verdict, desired, rep.ObservedBusyFraction)
+				}
+			}
+		}
+	}
+
+	if driftDetail == "" && now-a.lastAct < a.cfg.Cooldown {
 		return a.events[fired:], nil
 	}
 	switch {
@@ -163,7 +198,7 @@ func (a *Autoscaler) Observe(now, utilization float64) ([]ScaleEvent, error) {
 		a.pending = append(a.pending, pendingScale{dueAt: now + a.cfg.ProvisionDelay, count: n})
 		a.lastAct = now
 		ev := ScaleEvent{At: now, Action: "provision", Class: a.cfg.Class, Count: n,
-			Detail: fmt.Sprintf("rho %.2f over target %.2f; due at %.0fs", utilization, a.cfg.TargetRho, now+a.cfg.ProvisionDelay)}
+			Detail: fmt.Sprintf("rho %.2f over target %.2f; due at %.0fs", utilization, a.cfg.TargetRho, now+a.cfg.ProvisionDelay) + driftDetail}
 		a.events = append(a.events, ev)
 		if a.cfg.ProvisionDelay <= 0 {
 			// Zero lead time: deliver in the same observation.

@@ -77,6 +77,7 @@ type DriftDetector struct {
 	st       *PrefillStation
 	stRate   float64
 	solveErr string
+	last     *DriftReport
 
 	gauges *driftGauges
 }
@@ -104,6 +105,16 @@ func NewDriftDetector(cfg online.Config, pool string, tol, recal float64) *Drift
 
 // Pool returns the detector's pool label.
 func (d *DriftDetector) Pool() string { return d.pool }
+
+// LastReport returns the most recent report Observe produced (nil
+// before the first Observe). Consumers that act on a verdict — the
+// autoscaler's recalibration trigger — compare report identity to act
+// on each one at most once.
+func (d *DriftDetector) LastReport() *DriftReport {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.last
+}
 
 // Instrument registers the capacity-drift gauge family on reg; every
 // subsequent Observe refreshes it.
@@ -226,8 +237,10 @@ func (d *DriftDetector) refreshLocked(views []online.RequestView, rate float64) 
 	return nil
 }
 
-// publishLocked mirrors a report into the registered gauges.
+// publishLocked records a report as the latest and mirrors it into the
+// registered gauges.
 func (d *DriftDetector) publishLocked(rep *DriftReport) {
+	d.last = rep
 	g := d.gauges
 	if g == nil {
 		return

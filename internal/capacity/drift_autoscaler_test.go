@@ -1,0 +1,108 @@
+package capacity
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/online"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestAutoscalerDriftRecalibration replays a deterministic day through
+// the online engine, then feeds the drift detector doctored
+// measurements that diverge far from the analytic model. The resulting
+// recalibrate/saturated verdict must make the autoscaler re-advise on
+// the *observed* busy fraction, scale up past what its own utilization
+// signal asked for, and bypass the cooldown — once per report, not on
+// every subsequent observation.
+func TestAutoscalerDriftRecalibration(t *testing.T) {
+	cfg := engineConfig(t, model.OPT13B, 2)
+	eng, err := online.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := workload.ShareGPT(stats.NewRNG(7), 64).Filter(cfg.Spec.MaxPos)
+	specs := online.Arrivals(stats.NewRNG(2024), profile, 4.0, 400, 0)
+	m := eng.Replay(specs, 0)
+
+	det := NewDriftDetector(cfg, "decode", 0, 0)
+	// Prime the detector with the honest replay so the analytic station
+	// solves, then observe a drifted world: measured percentiles and
+	// busy fraction far above what the model predicts.
+	base := det.Observe(eng.List(), m)
+	if base == nil || base.Verdict == "insufficient-data" {
+		t.Fatalf("baseline report = %+v", base)
+	}
+	drifted := m
+	drifted.QueueWait.P95 = base.PredictedWaitP95*10 + 1
+	drifted.TTFT.P95 = base.PredictedTTFTP95*10 + 1
+	drifted.PrefillBusyFraction = 0.97
+	rep := det.Observe(eng.List(), drifted)
+	if rep.Verdict != "recalibrate" && rep.Verdict != "saturated" {
+		t.Fatalf("drifted verdict %q (max err %.2f), want recalibrate or saturated", rep.Verdict, rep.MaxAbsError)
+	}
+
+	fs, as := scalerFixture(t, AutoscalerConfig{TargetRho: 0.85, Cooldown: 1000, Drift: det})
+
+	// The utilization signal alone says the 2-device pool is fine
+	// (demand 1.0 → desired 2), and the long cooldown would block any
+	// action anyway. The drift verdict overrides both: re-advising on
+	// observed busy 0.97 over 2 usable devices calls for
+	// ceil(0.97·2/0.85) = 3 devices.
+	evs, err := as.Observe(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prov *ScaleEvent
+	for i := range evs {
+		if evs[i].Action == "provision" {
+			prov = &evs[i]
+		}
+	}
+	if prov == nil {
+		t.Fatalf("drift verdict fired no provision: %+v", evs)
+	}
+	if prov.Count != 1 {
+		t.Fatalf("provisioned %d devices, want 1 (desired 3 over 2)", prov.Count)
+	}
+	if !strings.Contains(prov.Detail, "drift verdict") || !strings.Contains(prov.Detail, rep.Verdict) {
+		t.Fatalf("provision detail does not attribute the drift verdict: %q", prov.Detail)
+	}
+	view, err := fs.Snapshot("decode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.TotalDevices != 3 {
+		t.Fatalf("pool not expanded to the re-advice: %d devices", view.TotalDevices)
+	}
+
+	// The same report must not re-trigger: the next observation is back
+	// under the cooldown with no fresh verdict, so nothing fires.
+	evs, err = as.Observe(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("consumed report re-triggered: %+v", evs)
+	}
+
+	// A fresh report with a clean verdict must not trigger either:
+	// observations that echo the predictions exactly have zero error.
+	agree := m
+	agree.QueueWait.P95 = rep.PredictedWaitP95
+	agree.TTFT.P95 = rep.PredictedTTFTP95
+	agree.PrefillBusyFraction = rep.PredictedBusyFraction
+	clean := det.Observe(eng.List(), agree)
+	if clean.Verdict != "ok" {
+		t.Fatalf("echoed predictions report %q, want ok", clean.Verdict)
+	}
+	evs, err = as.Observe(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("clean verdict triggered a scale action: %+v", evs)
+	}
+}

@@ -1,0 +1,96 @@
+package maintenance
+
+import (
+	"repro/internal/obs"
+)
+
+// telemetry holds the orchestrator's metric families and tracer. All
+// methods are nil-receiver-safe so an uninstrumented orchestrator pays
+// nothing.
+type telemetry struct {
+	tr        *obs.Tracer
+	step      *obs.GaugeVec
+	active    *obs.Gauge
+	drained   *obs.Gauge
+	migratedC *obs.Counter
+	rollbacks *obs.Counter
+	retries   *obs.Counter
+}
+
+// Instrument registers the maintenance families on reg and attaches tr
+// for per-step spans (track "maintenance"). Both may be nil. Call
+// before Run.
+func (o *Orchestrator) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil && tr == nil {
+		return
+	}
+	t := &telemetry{tr: tr}
+	if reg != nil {
+		t.step = reg.GaugeVec("maintenance_step",
+			"Current step per failure domain: 1=gate 2=drain 3=migrate 4=restart 5=health-check 6=readmit, 0=idle/done, -1=rollback.",
+			"domain")
+		t.active = reg.Gauge("maintenance_active",
+			"1 while a maintenance operation is running.")
+		t.drained = reg.Gauge("maintenance_drained_devices",
+			"Devices currently drained for maintenance.")
+		t.migratedC = reg.Counter("maintenance_migrated_sessions_total",
+			"In-flight sessions migrated off draining devices.")
+		t.rollbacks = reg.Counter("maintenance_rollbacks_total",
+			"Failure domains rolled back after a failed step.")
+		t.retries = reg.Counter("maintenance_step_retries_total",
+			"Step attempts that failed and were retried.")
+	}
+	o.tel = t
+}
+
+func (t *telemetry) opState(v float64) {
+	if t == nil || t.active == nil {
+		return
+	}
+	t.active.Set(v)
+}
+
+func (t *telemetry) stepGauge(domain string, code float64) {
+	if t == nil || t.step == nil {
+		return
+	}
+	t.step.With(domain).Set(code)
+}
+
+func (t *telemetry) drainedGauge(delta float64) {
+	if t == nil || t.drained == nil {
+		return
+	}
+	t.drained.Add(delta)
+}
+
+func (t *telemetry) migrated(n float64) {
+	if t == nil || t.migratedC == nil {
+		return
+	}
+	t.migratedC.Add(n)
+}
+
+func (t *telemetry) rollbackInc() {
+	if t == nil || t.rollbacks == nil {
+		return
+	}
+	t.rollbacks.Inc()
+}
+
+func (t *telemetry) retryInc() {
+	if t == nil || t.retries == nil {
+		return
+	}
+	t.retries.Inc()
+}
+
+// span records one completed step on the maintenance track (the span
+// start is reconstructed from the tracer's clock at completion).
+func (t *telemetry) span(domain string, kind StepKind, seconds float64, ok bool) {
+	if t == nil || t.tr == nil {
+		return
+	}
+	t.tr.Span("maintenance", string(kind), t.tr.Now()-seconds, seconds,
+		map[string]any{"domain": domain, "ok": ok})
+}

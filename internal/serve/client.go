@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/maintenance"
 	"repro/internal/online"
 )
 
@@ -147,6 +148,29 @@ func (c *Client) Restore(pool, class string, count int) (PoolView, error) {
 	var v PoolView
 	err := c.do(http.MethodPost, "/v1/fleet/restore", fleetRequest{Pool: pool, Class: class, Count: count}, &v)
 	return v, err
+}
+
+// StartMaintenance launches a rolling-maintenance operation.
+func (c *Client) StartMaintenance(req maintenance.Request) (maintenance.Status, error) {
+	var st maintenance.Status
+	err := c.do(http.MethodPost, "/v1/maintenance", req, &st)
+	return st, err
+}
+
+// Maintenance fetches the current (or most recent) maintenance
+// operation's status.
+func (c *Client) Maintenance() (maintenance.Status, error) {
+	var st maintenance.Status
+	err := c.do(http.MethodGet, "/v1/maintenance", nil, &st)
+	return st, err
+}
+
+// AbortMaintenance cancels the running maintenance operation; the
+// in-flight domain rolls back before the call returns.
+func (c *Client) AbortMaintenance() (maintenance.Status, error) {
+	var st maintenance.Status
+	err := c.do(http.MethodDelete, "/v1/maintenance", nil, &st)
+	return st, err
 }
 
 // SubmitRequest submits a streaming request to the online tier.

@@ -172,6 +172,9 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 	// topology instead of searching cold.
 	var last *plan.Plan
 	for attempt := 0; ; attempt++ {
+		if s.abandonRequeued(j) {
+			return
+		}
 		snap, err := s.fleet.Snapshot(res.Name)
 		if err != nil {
 			s.fail(j, err)
@@ -230,6 +233,10 @@ func (s *Server) execute(j *job, res *scheduler.Resource) {
 			s.tel.tr.Instant(res.Name, "replan", s.tel.tr.Now(), map[string]any{"job": j.id, "attempt": attempt})
 		}
 		s.mu.Lock()
+		if j.requeuedByDrain && !j.cancelRequested {
+			s.mu.Unlock()
+			return
+		}
 		j.state = StateRunning
 		j.cacheHit = hit // last planning round's cache outcome
 		j.planStr = p.String()
@@ -371,9 +378,31 @@ func (s *Server) fail(j *job, err error) {
 	s.mu.Unlock()
 }
 
+// abandonRequeued reports whether the drain timeout requeued this job
+// out from under the executor; if so it re-asserts the checkpointed
+// queued state (a concurrent generation-change branch may have flipped
+// it back to planning) and the executor must drop the job.
+func (s *Server) abandonRequeued(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.requeuedByDrain && !j.cancelRequested {
+		j.state = StateQueued
+		j.resource = ""
+		return true
+	}
+	return false
+}
+
 // cancelFinished moves a canceled in-flight job to its terminal state.
+// Jobs the drain timeout checkpointed and requeued are exempt: the
+// wedged executor unwinding after the deadline must not cancel the
+// checkpoint it no longer owns.
 func (s *Server) cancelFinished(j *job) {
 	s.mu.Lock()
+	if j.requeuedByDrain && !j.cancelRequested {
+		s.mu.Unlock()
+		return
+	}
 	s.finishLocked(j, StateCanceled, "canceled")
 	s.mu.Unlock()
 }

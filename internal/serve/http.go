@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 
 	"repro/internal/gpu"
+	"repro/internal/maintenance"
 	"repro/internal/online"
 	"repro/internal/scheduler"
 )
@@ -27,6 +28,9 @@ type apiError struct {
 //	GET    /v1/fleet          pool availability → {"pools": [PoolView...]}
 //	POST   /v1/fleet/preempt  reclaim devices (fleetRequest body) → PoolView
 //	POST   /v1/fleet/restore  return devices (fleetRequest body) → PoolView
+//	POST   /v1/maintenance    start a rolling maintenance (maintenance.Request) → Status
+//	GET    /v1/maintenance    current/last operation → maintenance.Status
+//	DELETE /v1/maintenance    abort (rolls back the in-flight domain) → Status
 //	GET    /v1/healthz        liveness → {"status": "ok"}
 //	GET    /metrics           Prometheus text exposition of the registry
 //
@@ -59,6 +63,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("POST /v1/fleet/preempt", s.handleFleetPreempt)
 	mux.HandleFunc("POST /v1/fleet/restore", s.handleFleetRestore)
+	mux.HandleFunc("POST /v1/maintenance", s.handleMaintenanceStart)
+	mux.HandleFunc("GET /v1/maintenance", s.handleMaintenanceStatus)
+	mux.HandleFunc("DELETE /v1/maintenance", s.handleMaintenanceAbort)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -94,6 +101,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, maintenance.ErrNone):
+		status = http.StatusNotFound
+	case errors.Is(err, maintenance.ErrActive):
+		status = http.StatusConflict
+	case errors.Is(err, maintenance.ErrInfeasible):
+		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
@@ -164,6 +177,40 @@ func (s *Server) handleFleetPreempt(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFleetRestore(w http.ResponseWriter, r *http.Request) {
 	s.handleFleetMutation(w, r, s.fleet.Restore)
+}
+
+func (s *Server) handleMaintenanceStart(w http.ResponseWriter, r *http.Request) {
+	var req maintenance.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed maintenance request: " + err.Error()})
+		return
+	}
+	st, err := s.StartMaintenance(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleMaintenanceStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.MaintenanceStatus()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMaintenanceAbort(w http.ResponseWriter, r *http.Request) {
+	st, err := s.AbortMaintenance()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleFleetMutation(w http.ResponseWriter, r *http.Request, apply func(string, gpu.DeviceClass, int) (scheduler.View, error)) {

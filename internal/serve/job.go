@@ -92,7 +92,10 @@ type JobView struct {
 	// batches (each against the pool's then-current topology).
 	Preemptions int    `json:"preemptions,omitempty"`
 	Replans     int    `json:"replans,omitempty"`
-	Error       string `json:"error,omitempty"`
+	// Requeued reports that the drain timeout checkpointed this job back
+	// to the queue (BatchesDone batches are done and stay done).
+	Requeued bool   `json:"requeued,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // job is the server-side record. Mutable fields are guarded by the
@@ -127,6 +130,10 @@ type job struct {
 	cancelRequested bool
 	cancel          context.CancelFunc
 
+	// requeuedByDrain marks a job the drain-timeout path checkpointed
+	// back to the queue; the unwinding executor must not cancel it.
+	requeuedByDrain bool
+
 	// tried records pools where the job proved infeasible (OOM / no
 	// plan); admission only guarantees the job fits *some* pool, so the
 	// executor retries it elsewhere before failing it.
@@ -150,6 +157,7 @@ func (j *job) view() JobView {
 		Throughput:   j.throughput,
 		Preemptions:  j.preemptions,
 		Replans:      j.replans,
+		Requeued:     j.requeuedByDrain,
 		Error:        j.errMsg,
 	}
 	if !j.started.IsZero() {

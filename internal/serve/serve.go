@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/capacity"
 	"repro/internal/core"
+	"repro/internal/maintenance"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/online"
@@ -73,6 +74,22 @@ type Config struct {
 	// (method defaults to the heuristic, θ to 1; per-job spec overrides
 	// take precedence).
 	Planner core.Options
+	// DrainTimeout, when > 0, bounds how long Shutdown waits for
+	// in-flight executor work. A wedged batch (a stuck BatchHook, a
+	// hung solver) past the deadline no longer holds the drain hostage:
+	// every in-flight job is checkpointed at its completed batch count
+	// and requeued (the preemption checkpoint path), the executor
+	// contexts are canceled, and Shutdown proceeds to persist state.
+	// 0 preserves the old behavior: wait as long as Shutdown's ctx
+	// allows.
+	DrainTimeout time.Duration
+	// Maintenance optionally overrides the rolling-maintenance hooks
+	// behind /v1/maintenance. Nil fields get daemon defaults: pool
+	// utilization from executor busy fractions, migration by counting
+	// the online tier's in-flight requests (the continuous batch
+	// re-places them at the next step boundary), and a fleet-invariant
+	// health check.
+	Maintenance maintenance.Hooks
 	// BatchHook, when non-nil, runs synchronously after every simulated
 	// batch with the job ID, completed batch count, and total. It exists
 	// for deterministic fault injection: chaos tests preempt devices from
@@ -203,6 +220,12 @@ type Server struct {
 
 	persistOnce sync.Once
 	persistErr  error
+
+	// maint is the current (or most recent) maintenance operation;
+	// guarded by maintMu, not s.mu, because its hooks read pool state
+	// under s.mu.
+	maintMu sync.Mutex
+	maint   *maintenance.Orchestrator
 
 	httpMu  sync.Mutex
 	httpSrv *http.Server
@@ -520,6 +543,26 @@ func (s *Server) Metrics() Metrics {
 	return m
 }
 
+// requeueRunning checkpoints every in-flight job back to the queue —
+// the drain-timeout path. batchesDone is already checkpointed at batch
+// granularity (the same invariant the preemption path relies on), so a
+// later resubmission resumes instead of redoing work. The jobs are not
+// pushed back onto the heap: the server is stopping, so no worker may
+// pick them up again; they stay visible as queued-with-checkpoint in
+// the final job views.
+func (s *Server) requeueRunning() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if (j.state == StatePlanning || j.state == StateRunning) && !j.cancelRequested {
+			j.requeuedByDrain = true
+			j.state = StateQueued
+			j.resource = ""
+			j.cancel = nil
+		}
+	}
+}
+
 // Drain stops admitting new jobs; queued and in-flight jobs still run to
 // completion. Idempotent.
 func (s *Server) Drain() {
@@ -633,11 +676,29 @@ func (s *Server) waitAndPersist(ctx context.Context) error {
 		s.workers.Wait()
 		close(done)
 	}()
+	var timeout <-chan time.Time
+	if s.cfg.DrainTimeout > 0 {
+		t := time.NewTimer(s.cfg.DrainTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
 	select {
 	case <-done:
 	case <-ctx.Done():
 		s.baseCancel() // abort in-flight solver/executor work
 		<-done
+	case <-timeout:
+		// The drain deadline fired with executor work still in flight —
+		// possibly wedged inside a batch (a stuck BatchHook never
+		// returns, so even a canceled context cannot unwind it).
+		// Checkpoint and requeue every in-flight job, cancel the
+		// executor contexts, and proceed WITHOUT waiting: blocking on
+		// the wedged worker here would reintroduce the hang this
+		// timeout exists to bound. The worker unwinds whenever the
+		// wedge clears; cancelFinished skips requeued jobs so the late
+		// unwind cannot cancel their checkpoints.
+		s.requeueRunning()
+		s.baseCancel()
 	}
 	s.httpMu.Lock()
 	srv := s.httpSrv

@@ -192,6 +192,83 @@ func TestChaosFaultMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosRestartMatrix: a full stage *restart* (listener bounced,
+// every session wiped) injected mid-prefill and mid-decode, triggered
+// off either chaos-proxy direction's byte counter. Unlike the stream
+// faults above, the failure here is stateful — the stage forgets its KV
+// sessions — so decode-phase restarts must recover via token-log
+// replay. The generation must still match the reference bit for bit,
+// with bounded recovery churn.
+func TestChaosRestartMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in -short mode")
+	}
+	cal := calibrateChaos(t)
+	upPre := cal.upPrefill / 2
+	upDec := cal.upPrefill + (cal.upTotal-cal.upPrefill)*6/10
+	downPre := cal.downPrefill / 2
+	downDec := cal.downPrefill + (cal.downTotal-cal.downPrefill)*6/10
+
+	// Pace the stream so the watcher goroutine reliably lands the
+	// restart inside the target phase window.
+	const pace = 500 * time.Microsecond
+	cases := []struct {
+		name       string
+		dir        Direction
+		at         int64
+		wantReplay bool
+	}{
+		{"restart/prefill/upstream", Upstream, upPre, false},
+		{"restart/prefill/downstream", Downstream, downPre, false},
+		{"restart/decode/upstream", Upstream, upDec, true},
+		{"restart/decode/downstream", Downstream, downDec, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newChaosRig(t, 0, func(p *ChaosProxy) {
+				p.SetDelay(Upstream, pace)
+				p.SetDelay(Downstream, pace)
+			})
+			defer r.close()
+
+			fired := make(chan bool, 1)
+			go func() {
+				deadline := time.Now().Add(10 * time.Second)
+				for r.proxy.Bytes(tc.dir) < tc.at {
+					if time.Now().After(deadline) {
+						fired <- false
+						return
+					}
+					time.Sleep(50 * time.Microsecond)
+				}
+				if err := r.servers[0].Restart(); err != nil {
+					t.Errorf("restart: %v", err)
+				}
+				fired <- true
+			}()
+
+			got, err := r.driver.Generate(chaosPrompt(), chaosTokens)
+			if !<-fired {
+				t.Fatalf("watcher never saw %d bytes %s", tc.at, tc.dir)
+			}
+			if err != nil {
+				t.Fatalf("generation did not survive the restart: %v (health %+v)", err, r.driver.StageHealth())
+			}
+			assertMatchesReference(t, nil, chaosPrompt(), got, chaosTokens)
+			rs := r.driver.RecoveryStats()
+			if rs.Recoveries == 0 {
+				t.Fatalf("restart did not exercise recovery: %+v (proxy %+v)", rs, r.proxy.Stats())
+			}
+			if rs.Recoveries > 8 {
+				t.Fatalf("unbounded recovery churn after one restart: %+v", rs)
+			}
+			if tc.wantReplay && rs.ReplayedTokens == 0 {
+				t.Fatalf("decode-phase restart replayed nothing: %+v", rs)
+			}
+		})
+	}
+}
+
 // TestChaosOrphanReaping: when a stage stays unreachable (every redial
 // refused) the driver gives up and can never close its session there —
 // the KV cache is orphaned on the stage and must fall to the
